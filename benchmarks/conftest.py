@@ -1,0 +1,28 @@
+"""Benchmark configuration: a moderate scale so the whole harness finishes in
+minutes while preserving every comparison's shape. Pass --full-scale through
+the REPRO_BENCH_FULL=1 environment variable to use the paper's sizes."""
+
+import os
+
+import pytest
+
+import repro.experiments.common as common
+
+# Budget-to-object ratios follow the paper (see common.FAST): scarce on
+# BirthPlaces, plentiful on Heritages.
+BENCH = common.ExperimentScale(
+    birthplaces_size=900,
+    heritages_size=130,
+    heritages_sources=300,
+    rounds=8,
+    workers=10,
+    tasks_per_worker=5,
+    em_iterations=20,
+)
+
+
+@pytest.fixture(autouse=True)
+def bench_scale(monkeypatch):
+    if os.environ.get("REPRO_BENCH_FULL") != "1":
+        monkeypatch.setattr(common, "FAST", BENCH)
+    yield

@@ -1,0 +1,165 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+Each ablation quantifies one modelling decision of TDH / EAI:
+
+* three-way trustworthiness (exact/generalized/wrong) vs hierarchy-blind;
+* worker popularity terms Pop2/Pop3 vs uniform;
+* UEAI pruning vs brute force (identical output, fewer evaluations);
+* incremental one-step EM vs re-running full EM for the conditional
+  confidences (approximation quality);
+* the Eq. (2)/(4) collapse for objects outside OH vs raw Eq. (1) (phi2
+  underestimation, Section 3.1).
+"""
+
+import numpy as np
+
+from repro import Answer, EAIAssigner, TDHModel, make_birthplaces
+from repro.crowd import make_worker_pool
+from repro.eval import evaluate
+
+
+def _dataset():
+    return make_birthplaces(size=300, seed=7)
+
+
+def test_ablation_hierarchy_modeling(benchmark):
+    """Three-interpretation model vs hierarchy-blind TDH (the paper's core)."""
+    dataset = _dataset()
+
+    def run():
+        full = TDHModel(max_iter=25, tol=1e-4).fit(dataset)
+        blind = TDHModel(max_iter=25, tol=1e-4, use_hierarchy=False).fit(dataset)
+        return (
+            evaluate(dataset, full.truths()),
+            evaluate(dataset, blind.truths()),
+        )
+
+    full_report, blind_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nhierarchy-aware: acc={full_report.accuracy:.4f} "
+        f"dist={full_report.avg_distance:.4f}"
+    )
+    print(
+        f"hierarchy-blind: acc={blind_report.accuracy:.4f} "
+        f"dist={blind_report.avg_distance:.4f}"
+    )
+    assert full_report.accuracy >= blind_report.accuracy
+    assert full_report.avg_distance <= blind_report.avg_distance + 0.05
+
+
+def test_ablation_popularity_terms(benchmark):
+    """Pop2/Pop3 worker terms vs uniform — with misinformation-following
+    workers, popularity modelling must not hurt."""
+    from repro.crowd import CrowdSimulator, SimulatedWorker
+
+    dataset = _dataset()
+    workers = make_worker_pool(8, pi_p=0.7, seed=3)
+
+    def run(use_popularity: bool):
+        sim = CrowdSimulator(
+            dataset,
+            TDHModel(max_iter=20, tol=1e-4, use_popularity=use_popularity),
+            EAIAssigner(),
+            workers,
+            seed=5,
+        )
+        return sim.run(rounds=5, tasks_per_worker=5).final.accuracy
+
+    def both():
+        return run(True), run(False)
+
+    with_pop, without_pop = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\nwith Pop2/Pop3: {with_pop:.4f}   uniform: {without_pop:.4f}")
+    assert with_pop >= without_pop - 0.03
+
+
+def test_ablation_ueai_pruning(benchmark):
+    """Lemma 4.1 pruning: identical assignments, strictly fewer evaluations."""
+    dataset = _dataset()
+    result = TDHModel(max_iter=20, tol=1e-4).fit(dataset)
+    worker_ids = [w.worker_id for w in make_worker_pool(10, seed=3)]
+
+    pruned = EAIAssigner(use_pruning=True)
+    brute = EAIAssigner(use_pruning=False)
+
+    def run():
+        a1 = pruned.assign(dataset, result, worker_ids, 5)
+        a2 = brute.assign(dataset, result, worker_ids, 5)
+        return a1, a2
+
+    a1, a2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nEAI evaluations: {pruned.eai_evaluations} (pruned) vs "
+        f"{brute.eai_evaluations} (brute force)"
+    )
+    assert a1 == a2
+    assert pruned.eai_evaluations < brute.eai_evaluations
+
+
+def test_ablation_incremental_vs_full_em(benchmark):
+    """The one-step incremental EM (Eq. 18) must approximate the confidences a
+    full EM re-run produces after actually adding the answer."""
+    dataset = _dataset()
+    model = TDHModel(max_iter=25, tol=1e-4)
+    result = model.fit(dataset)
+    assigner = EAIAssigner()
+    psi = np.array([0.7, 0.2, 0.1])
+
+    objects = [o for o in dataset.objects if len(dataset.candidates(o)) >= 2][:15]
+
+    def run():
+        errors = []
+        for obj in objects:
+            answer_pos = int(np.argmax(result.confidences[obj]))
+            answer_value = dataset.candidates(obj)[answer_pos]
+            incremental = assigner.conditional_confidence(
+                result, obj, psi, answer_pos
+            )
+            clone = dataset.copy()
+            clone.add_answer(Answer(obj, "probe-worker", answer_value))
+            refit = model.fit(clone)
+            errors.append(
+                float(np.max(np.abs(incremental - refit.confidences[obj])))
+            )
+        return errors
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_error = float(np.mean(errors))
+    print(f"\nmean |incremental - full EM| = {mean_error:.4f}")
+    # The incremental step is an approximation; it must stay close.
+    assert mean_error < 0.25
+
+
+def test_ablation_flat_object_collapse(benchmark):
+    """Eq. (2)/(4) special-casing: without it, phi2 of generalizing sources is
+    underestimated because flat objects can never exhibit case 2."""
+    from repro.eval import source_accuracy
+
+    dataset = _dataset()
+
+    def run():
+        with_collapse = TDHModel(max_iter=25, tol=1e-4).fit(dataset)
+        without = TDHModel(
+            max_iter=25, tol=1e-4, collapse_flat_objects=False
+        ).fit(dataset)
+        return with_collapse, without
+
+    with_collapse, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The paper's Section 3.1 claim is directional: without the collapse,
+    # flat objects can never produce case-2 evidence, so phi2 shrinks for
+    # every source — drastically for the heavy generalizers.
+    for source in dataset.sources:
+        stats = source_accuracy(dataset, source)
+        phi2_with = with_collapse.source_trustworthiness(source)[1]
+        phi2_without = without.source_trustworthiness(source)[1]
+        print(
+            f"{source}: tendency={stats['gen_accuracy'] - stats['accuracy']:.3f}"
+            f" phi2_with={phi2_with:.3f} phi2_without={phi2_without:.3f}"
+        )
+        assert phi2_without <= phi2_with + 1e-9, source
+    # Heavy generalizers (profiles 3/5/7, generator phi2 >= 0.24) lose most
+    # of their estimated tendency without the special case.
+    for source in ("source_3", "source_5", "source_7"):
+        phi2_with = with_collapse.source_trustworthiness(source)[1]
+        phi2_without = without.source_trustworthiness(source)[1]
+        assert phi2_without < 0.6 * phi2_with, source

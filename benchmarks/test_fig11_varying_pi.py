@@ -1,0 +1,28 @@
+"""Bench: Figure 11 — final accuracy vs worker quality pi_p.
+
+Accuracy grows with pi_p and TDH+EAI stays on top across the sweep.
+"""
+
+from repro.experiments import fig11_worker_quality
+from repro.experiments.common import format_series
+
+PI_VALUES = (0.55, 0.75, 0.95)
+
+
+def test_fig11(benchmark):
+    results = benchmark.pedantic(
+        fig11_worker_quality.run,
+        kwargs={"pi_values": PI_VALUES},
+        rounds=1,
+        iterations=1,
+    )
+    for ds_name, data in results.items():
+        xs = data.pop("pi_p")
+        print()
+        print(format_series(data, xs, x_label="pi_p", title=f"Figure 11 ({ds_name})"))
+        tdh = data["TDH+EAI"]
+        # Monotone-ish growth with worker quality.
+        assert tdh[-1] >= tdh[0] - 0.02
+        # TDH+EAI best (or within noise of best) at the highest pi_p.
+        finals = {combo: series[-1] for combo, series in data.items()}
+        assert finals["TDH+EAI"] >= max(finals.values()) - 0.02

@@ -1,0 +1,30 @@
+"""Bench: Figure 12 — execution time per crowdsourcing round.
+
+Absolute seconds are machine-dependent; the reproduced shape is the ordering:
+VOTE+ME is the fastest combo and the task-assignment step stays cheap
+relative to inference for TDH+EAI.
+"""
+
+from repro.experiments import fig12_runtime
+from repro.experiments.common import format_table
+
+
+def test_fig12(benchmark):
+    results = benchmark.pedantic(
+        fig12_runtime.run, kwargs={"rounds": 3}, rounds=1, iterations=1
+    )
+    for ds_name, rows in results.items():
+        print()
+        print(
+            format_table(
+                rows,
+                ["Combo", "Inference(s)", "Assignment(s)", "Total(s)"],
+                title=f"Figure 12 ({ds_name})",
+            )
+        )
+        by_combo = {r["Combo"]: r for r in rows}
+        fastest = min(rows, key=lambda r: r["Total(s)"])
+        assert by_combo["VOTE+ME"]["Total(s)"] <= fastest["Total(s)"] * 3.0
+        tdh = by_combo["TDH+EAI"]
+        # EAI assignment is cheap relative to a full EM inference pass.
+        assert tdh["Assignment(s)"] <= tdh["Inference(s)"] * 2.0 + 0.05

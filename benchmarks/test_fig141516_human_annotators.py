@@ -1,0 +1,27 @@
+"""Bench: Figures 14/15/16 — crowdsourcing with the simulated human panel.
+
+TDH+EAI leads on Accuracy by the final round, and (the paper's GenAccuracy
+observation) even where other combos start higher on GenAccuracy, TDH+EAI
+overtakes within a few rounds.
+"""
+
+from repro.experiments import fig14_human
+from repro.experiments.common import format_series
+
+
+def test_fig141516(benchmark):
+    results = benchmark.pedantic(
+        fig14_human.run, kwargs={"rounds": 8}, rounds=1, iterations=1
+    )
+    for ds_name, data in results.items():
+        rounds = data["rounds"]
+        print()
+        print(
+            format_series(
+                data["accuracy"], rounds, title=f"Figure 14 — Accuracy ({ds_name})"
+            )
+        )
+        finals = {combo: series[-1] for combo, series in data["accuracy"].items()}
+        assert finals["TDH+EAI"] >= max(finals.values()) - 0.02, ds_name
+        gen_finals = {c: s[-1] for c, s in data["gen_accuracy"].items()}
+        assert gen_finals["TDH+EAI"] >= max(gen_finals.values()) - 0.03, ds_name

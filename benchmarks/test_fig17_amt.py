@@ -1,0 +1,22 @@
+"""Bench: Figure 17 — crowdsourcing with the simulated AMT panel (Heritages).
+
+With 20 mixed-quality workers the trends match the human-panel experiment:
+TDH+EAI ends on top on all three measures.
+"""
+
+from repro.experiments import fig17_amt
+from repro.experiments.common import format_series
+
+
+def test_fig17(benchmark):
+    results = benchmark.pedantic(
+        fig17_amt.run, kwargs={"rounds": 8}, rounds=1, iterations=1
+    )
+    data = results["Heritages"]
+    rounds = data["rounds"]
+    print()
+    print(format_series(data["accuracy"], rounds, title="Figure 17 — Accuracy"))
+    finals = {combo: series[-1] for combo, series in data["accuracy"].items()}
+    assert finals["TDH+EAI"] >= max(finals.values()) - 0.02
+    dist_finals = {c: s[-1] for c, s in data["avg_distance"].items()}
+    assert dist_finals["TDH+EAI"] <= min(dist_finals.values()) + 0.05

@@ -1,0 +1,28 @@
+"""Bench: Figure 1 — generalization tendencies of the sources.
+
+The scatter's defining property: a substantial share of sources sits above
+the accuracy diagonal (their generalized accuracy exceeds exact accuracy),
+and the gap differs per source — the behaviour TDH's phi2 models.
+"""
+
+from repro.experiments import fig1_tendency
+from repro.experiments.common import format_table
+
+
+def test_fig1(benchmark):
+    results = benchmark.pedantic(fig1_tendency.run, rounds=1, iterations=1)
+    for ds_name, rows in results.items():
+        print()
+        print(
+            format_table(
+                rows[:10],
+                ["Source", "Claims", "Accuracy", "GenAccuracy", "Tendency"],
+                title=f"Figure 1 ({ds_name}, top 10 by claims)",
+            )
+        )
+        tendencies = [r["Tendency"] for r in rows]
+        assert max(tendencies) > 0.05, f"no generalizers in {ds_name}"
+        # Tendencies differ across sources (not a single global offset).
+        assert max(tendencies) - min(tendencies) > 0.05
+        # GenAccuracy dominates Accuracy by construction of the measures.
+        assert all(r["GenAccuracy"] >= r["Accuracy"] - 1e-12 for r in rows)

@@ -1,0 +1,28 @@
+"""Bench: Figure 5 — source reliability estimation, TDH vs ASUMS.
+
+The paper's claim: TDH's phi_{s,1} tracks the true per-source accuracy while
+ASUMS's single trust score t(s) underestimates sources that generalize.
+"""
+
+from repro.experiments import fig5_reliability
+from repro.experiments.common import format_table
+
+
+def test_fig5(benchmark):
+    rows = benchmark.pedantic(fig5_reliability.run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            ["Source", "Claims", "Accuracy", "GenAccuracy", "phi_s1", "phi_s2", "t(s)"],
+            title="Figure 5 (BirthPlaces)",
+        )
+    )
+    assert len(rows) == 7
+    tdh_err = sum(abs(r["phi_s1"] - r["Accuracy"]) for r in rows) / len(rows)
+    asums_err = sum(abs(r["t(s)"] - r["Accuracy"]) for r in rows) / len(rows)
+    print(f"\nmean reliability error: TDH {tdh_err:.4f} vs ASUMS {asums_err:.4f}")
+    assert tdh_err < asums_err, "TDH should track actual accuracy better"
+    # Generalizing sources (profiles 3/4/7) must show phi2 mass.
+    by_name = {r["Source"]: r for r in rows}
+    assert by_name["source_7"]["phi_s2"] > 0.15

@@ -1,0 +1,25 @@
+"""Bench: Figure 6 — task assignment comparison (TDH + {EAI, QASCA, ME}).
+
+Accuracy vs round; all curves start at the same no-crowdsourcing point and
+EAI must finish at least as high as the uncertainty-sampling baseline ME.
+"""
+
+import pytest
+
+from repro.experiments import fig6_assignment
+from repro.experiments.common import format_series
+
+
+def test_fig6(benchmark):
+    results = benchmark.pedantic(fig6_assignment.run, rounds=1, iterations=1)
+    for ds_name, data in results.items():
+        rounds = data.pop("rounds")
+        print()
+        print(format_series(data, rounds, title=f"Figure 6 ({ds_name})"))
+        start = {combo: series[0] for combo, series in data.items()}
+        # Same inference, same data: identical round-0 accuracy.
+        assert len(set(start.values())) == 1
+        # All curves are (weakly) increasing overall.
+        for combo, series in data.items():
+            assert series[-1] >= series[0] - 0.02, combo
+        assert data["TDH+EAI"][-1] >= data["TDH+ME"][-1] - 0.01

@@ -1,0 +1,23 @@
+"""Bench: Figure 7 — actual vs estimated accuracy improvement.
+
+EAI's estimate must track the realised improvement more closely than QASCA's,
+and QASCA must overestimate on average (positive bias) — the paper's central
+task-assignment finding.
+"""
+
+from repro.experiments import fig7_estimation
+
+
+def test_fig7(benchmark):
+    results = benchmark.pedantic(fig7_estimation.run, rounds=1, iterations=1)
+    for ds_name, per_assigner in results.items():
+        print(f"\nFigure 7 ({ds_name}):")
+        for assigner, data in per_assigner.items():
+            print(
+                f"  {assigner:6s} mean|est-act| = {data['mean_abs_error_pp']:.3f} pp,"
+                f" bias = {data['mean_bias_pp']:+.3f} pp"
+            )
+        eai = per_assigner["EAI"]
+        qasca = per_assigner["QASCA"]
+        assert eai["mean_abs_error_pp"] <= qasca["mean_abs_error_pp"] + 1e-9, ds_name
+        assert qasca["mean_bias_pp"] > 0.0, "QASCA should overestimate"

@@ -1,0 +1,32 @@
+"""Bench: extended Table 3 — the paper's roster plus seven classic algorithms.
+
+TDH must stay on top even against the wider field; the link-analysis family
+(no reliability/generalization separation) should trail the probabilistic
+models on the hierarchy-rich datasets.
+"""
+
+from repro.experiments import table3_extended
+from repro.experiments.common import format_table
+
+
+def test_table3_extended(benchmark):
+    results = benchmark.pedantic(table3_extended.run, rounds=1, iterations=1)
+    for ds_name, rows in results.items():
+        print()
+        print(
+            format_table(
+                rows,
+                ["Algorithm", "Accuracy", "GenAccuracy", "AvgDistance"],
+                title=f"Extended Table 3 ({ds_name})",
+            )
+        )
+        by_algo = {r["Algorithm"]: r for r in rows}
+        best = max(r["Accuracy"] for r in rows)
+        assert by_algo["TDH"]["Accuracy"] == best, ds_name
+        # The confusion-matrix crowd classics should behave like LFC-family
+        # members — well above the weakest link-analysis baseline.
+        weakest_link = min(
+            by_algo[name]["Accuracy"]
+            for name in ("SUMS", "AVGLOG", "INVEST", "POOLED")
+        )
+        assert by_algo["DS"]["Accuracy"] >= weakest_link - 0.05

@@ -1,0 +1,43 @@
+"""Bench: Table 4 — accuracy of every inference x assignment combo after the
+final crowdsourcing round. TDH+EAI must be the best cell overall."""
+
+from repro.experiments import table4_combos
+from repro.experiments.common import format_table
+
+
+def test_table4(benchmark):
+    results = benchmark.pedantic(table4_combos.run, rounds=1, iterations=1)
+    for ds_name, rows in results.items():
+        print()
+        print(
+            format_table(
+                rows,
+                ["Algorithm", *table4_combos.ASSIGNER_COLUMNS],
+                title=f"Table 4 ({ds_name})",
+            )
+        )
+        cells = {
+            (row["Algorithm"], col): row[col]
+            for row in rows
+            for col in table4_combos.ASSIGNER_COLUMNS
+            if isinstance(row[col], float)
+        }
+        best_combo = max(cells, key=cells.get)
+        tdh_eai = cells[("TDH", "EAI")]
+        # BirthPlaces is the scarce-budget regime where assignment decides
+        # the outcome — TDH+EAI must effectively top the table. Heritages'
+        # small bench instance saturates (3+ answers per object) and every
+        # competent combo lands within a couple of objects of perfect, so
+        # the tolerance is a few objects wide (see EXPERIMENTS.md).
+        tolerance = 0.015 if ds_name == "BirthPlaces" else 0.03
+        assert tdh_eai >= cells[best_combo] - tolerance, (
+            f"TDH+EAI ({tdh_eai:.4f}) should be at or near the top on"
+            f" {ds_name}; best was {best_combo} ({cells[best_combo]:.4f})"
+        )
+        # Inference quality shows through the shared ME column: TDH must sit
+        # in its top half (the paper has it first by a whisker; at bench
+        # scale the ME policy's noise can reorder the leaders).
+        me_cells = sorted(
+            (cells[(a, "ME")] for a, c in cells if c == "ME"), reverse=True
+        )
+        assert cells[("TDH", "ME")] >= me_cells[len(me_cells) // 2]

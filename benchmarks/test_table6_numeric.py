@@ -1,0 +1,26 @@
+"""Bench: Table 6 — numeric truth discovery on the stock dataset.
+
+Shape: TDH has the lowest MAE on every attribute; the averaging baselines
+(MEAN, CATD) are hurt most by the injected scale outliers.
+"""
+
+from repro.experiments import table6_numeric
+from repro.experiments.common import format_table
+
+
+def test_table6(benchmark):
+    results = benchmark.pedantic(table6_numeric.run, rounds=1, iterations=1)
+    for attribute, rows in results.items():
+        print()
+        print(
+            format_table(
+                rows, ["Algorithm", "MAE", "R/E"],
+                title=f"Table 6 ({attribute})",
+            )
+        )
+        by_algo = {r["Algorithm"]: r for r in rows}
+        best_mae = min(r["MAE"] for r in rows)
+        assert by_algo["TDH"]["MAE"] <= best_mae + 1e-12, attribute
+        # Averaging methods suffer from outliers.
+        assert by_algo["MEAN"]["MAE"] > by_algo["TDH"]["MAE"]
+        assert by_algo["CATD"]["MAE"] > by_algo["TDH"]["MAE"]

@@ -1,0 +1,59 @@
+"""Knowledge-fusion scenario: crowdsourced truth discovery end to end.
+
+Reproduces the paper's core workflow (Figure 2) on a synthetic BirthPlaces
+dataset: run hierarchical truth inference over noisy web-extracted records,
+then spend a crowdsourcing budget with EAI task assignment, and watch the
+accuracy climb. Compares against the uncertainty-sampling baseline (ME) with
+the same budget.
+
+Run:  python examples/knowledge_fusion.py
+"""
+
+from repro import (
+    CrowdSimulator,
+    EAIAssigner,
+    MaxEntropyAssigner,
+    TDHModel,
+    make_birthplaces,
+    make_worker_pool,
+)
+
+
+def main() -> None:
+    dataset = make_birthplaces(size=500, seed=7)
+    print("Synthetic BirthPlaces:", dataset.stats(), "\n")
+
+    rounds, tasks_per_worker = 12, 5
+    workers = make_worker_pool(10, pi_p=0.75, seed=3)
+    budget = rounds * tasks_per_worker * len(workers)
+    print(f"Crowd budget: {budget} answers "
+          f"({rounds} rounds x {len(workers)} workers x {tasks_per_worker} tasks)\n")
+
+    results = {}
+    for assigner in (EAIAssigner(), MaxEntropyAssigner()):
+        simulator = CrowdSimulator(
+            dataset,
+            TDHModel(max_iter=30, tol=1e-4),
+            assigner,
+            workers,
+            seed=5,
+        )
+        history = simulator.run(rounds=rounds, tasks_per_worker=tasks_per_worker)
+        results[assigner.name] = history
+
+    print(f"{'Round':>5s}  {'TDH+EAI':>8s}  {'TDH+ME':>8s}")
+    eai = results["EAI"].records
+    me = results["ME"].records
+    for record_eai, record_me in zip(eai, me):
+        print(
+            f"{record_eai.round:5d}  {record_eai.accuracy:8.4f}  {record_me.accuracy:8.4f}"
+        )
+
+    gain_eai = eai[-1].accuracy - eai[0].accuracy
+    gain_me = me[-1].accuracy - me[0].accuracy
+    print(f"\nAccuracy gained with the same budget: "
+          f"EAI +{100 * gain_eai:.1f}pp vs ME +{100 * gain_me:.1f}pp")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro: reproduction of "Crowdsourced Truth Discovery in the Presence of
+Hierarchies for Knowledge Fusion" (Jung, Kim & Shim, EDBT 2019).
+
+The package implements the paper's TDH truth-inference model and EAI task
+assigner, every baseline it compares against, the crowdsourcing simulator,
+the evaluation measures and seeded synthetic counterparts of its datasets.
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from .hierarchy import Hierarchy
+from .data import Answer, Record, TruthDiscoveryDataset
+from .inference import (
+    Accu,
+    Asums,
+    Catd,
+    Crh,
+    CrhNumeric,
+    Dart,
+    Docs,
+    GuessLca,
+    InferenceResult,
+    Lfc,
+    LfcMT,
+    Ltm,
+    Mdc,
+    Mean,
+    PopAccu,
+    TDHModel,
+    TDHResult,
+    Vote,
+)
+from .assignment import (
+    AskItAssigner,
+    EAIAssigner,
+    MaxEntropyAssigner,
+    MbAssigner,
+    QascaAssigner,
+)
+from .crowd import (
+    CrowdSimulator,
+    SimulatedWorker,
+    SimulationHistory,
+    make_amt_panel,
+    make_human_panel,
+    make_worker_pool,
+)
+from .eval import evaluate, evaluate_multitruth, evaluate_numeric
+from .datasets import load_dataset, make_birthplaces, make_heritages
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hierarchy",
+    "Record",
+    "Answer",
+    "TruthDiscoveryDataset",
+    "InferenceResult",
+    "TDHModel",
+    "TDHResult",
+    "Vote",
+    "Accu",
+    "PopAccu",
+    "Lfc",
+    "LfcMT",
+    "Crh",
+    "CrhNumeric",
+    "GuessLca",
+    "Asums",
+    "Mdc",
+    "Docs",
+    "Ltm",
+    "Dart",
+    "Catd",
+    "Mean",
+    "EAIAssigner",
+    "QascaAssigner",
+    "MaxEntropyAssigner",
+    "MbAssigner",
+    "AskItAssigner",
+    "CrowdSimulator",
+    "SimulationHistory",
+    "SimulatedWorker",
+    "make_worker_pool",
+    "make_human_panel",
+    "make_amt_panel",
+    "evaluate",
+    "evaluate_multitruth",
+    "evaluate_numeric",
+    "load_dataset",
+    "make_birthplaces",
+    "make_heritages",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Task-assignment policies: EAI (the paper's) plus QASCA, ME and MB."""
+
+from .base import Assignment, TaskAssigner, worker_accuracy
+from .eai import EAIAssigner
+from .qasca import QascaAssigner
+from .entropy import MaxEntropyAssigner, confidence_entropy
+from .mb import MbAssigner
+from .askit import AskItAssigner
+
+__all__ = [
+    "TaskAssigner",
+    "Assignment",
+    "worker_accuracy",
+    "EAIAssigner",
+    "QascaAssigner",
+    "MaxEntropyAssigner",
+    "confidence_entropy",
+    "MbAssigner",
+    "AskItAssigner",
+]

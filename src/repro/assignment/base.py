@@ -1,0 +1,78 @@
+"""Common interface for crowdsourcing task-assignment policies.
+
+An assigner inspects the current inference result and proposes, for each
+available worker, the ``k`` objects whose answers are expected to help the
+most. Following the paper (Section 4.3), an object is assigned to **at most
+one worker per round** — a single answer often suffices, and the object can
+be reassigned next round if not.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, List, Sequence
+
+from ..data.model import ObjectId, TruthDiscoveryDataset, WorkerId
+from ..inference.base import InferenceResult
+
+Assignment = Dict[WorkerId, List[ObjectId]]
+
+
+class TaskAssigner(abc.ABC):
+    """Base class for task-assignment policies."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def assign(
+        self,
+        dataset: TruthDiscoveryDataset,
+        result: InferenceResult,
+        workers: Sequence[WorkerId],
+        k: int,
+    ) -> Assignment:
+        """Propose up to ``k`` objects per worker (no object twice per round)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def worker_accuracy(result: InferenceResult, worker: WorkerId, default: float = 0.7) -> float:
+    """Best-effort exact-answer probability for ``worker`` from any result.
+
+    Dispatches on the attributes different algorithms expose: TDH's ``psi``,
+    DOCS's per-domain accuracies, LCA's honesty, ACCU's source accuracy.
+    Falls back to ``default`` for unseen workers.
+    """
+    psi = getattr(result, "psi", None)
+    if psi is not None and worker in psi:
+        return float(psi[worker][0])
+    domain_accuracy = getattr(result, "domain_accuracy", None)
+    if domain_accuracy is not None:
+        per_worker = [
+            acc for (claimant, _domain), acc in domain_accuracy.items()
+            if claimant == ("worker", worker) or claimant == worker
+        ]
+        if per_worker:
+            return float(sum(per_worker) / len(per_worker))
+    honesty = getattr(result, "honesty", None)
+    if honesty is not None:
+        key = ("worker", worker)
+        if key in honesty:
+            return float(honesty[key])
+        if worker in honesty:
+            return float(honesty[worker])
+    source_accuracy = getattr(result, "source_accuracy", None)
+    if source_accuracy is not None:
+        key = ("worker", worker)
+        if key in source_accuracy:
+            return float(source_accuracy[key])
+    return default
+
+
+def eligible_objects(
+    dataset: TruthDiscoveryDataset, worker: WorkerId
+) -> List[ObjectId]:
+    """Objects the worker has not answered yet."""
+    answered = set(dataset.objects_of_worker(worker))
+    return [obj for obj in dataset.objects if obj not in answered]

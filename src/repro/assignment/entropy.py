@@ -1,0 +1,63 @@
+"""ME — maximum-entropy uncertainty sampling baseline (paper Section 5.1).
+
+Selects the objects whose confidence distribution has the highest Shannon
+entropy: ``o* = argmax_o ( -sum_v mu_{o,v} log mu_{o,v} )``. Pure uncertainty
+sampling — it ignores both worker quality and expected accuracy gain, which
+is why the paper uses it as the floor for task-assignment comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset, WorkerId
+from ..inference.base import InferenceResult
+from .base import Assignment, TaskAssigner
+
+
+def confidence_entropy(vec: np.ndarray) -> float:
+    """Shannon entropy (nats) of a (possibly unnormalised) confidence vector."""
+    vec = np.asarray(vec, dtype=float)
+    total = vec.sum()
+    if total <= 0:
+        return 0.0
+    p = vec / total
+    p = p[p > 0]
+    return float(-(p * np.log(p)).sum())
+
+
+class MaxEntropyAssigner(TaskAssigner):
+    """Assign the globally most-uncertain objects, round-robin over workers."""
+
+    name = "ME"
+
+    def assign(
+        self,
+        dataset: TruthDiscoveryDataset,
+        result: InferenceResult,
+        workers: Sequence[WorkerId],
+        k: int,
+    ) -> Assignment:
+        scored: List[Tuple[float, int, ObjectId]] = [
+            (confidence_entropy(vec), i, obj)
+            for i, (obj, vec) in enumerate(result.confidences.items())
+        ]
+        scored.sort(key=lambda t: (-t[0], t[1]))
+        ranking = [obj for _, _, obj in scored]
+        answered = {w: set(dataset.objects_of_worker(w)) for w in workers}
+        out: Dict[WorkerId, List[ObjectId]] = {w: [] for w in workers}
+        assigned: set = set()
+
+        # Fill worker slots round-robin from the entropy ranking; an object an
+        # individual worker already answered stays available for the others.
+        for _ in range(k):
+            for worker in workers:
+                for obj in ranking:
+                    if obj in assigned or obj in answered[worker]:
+                        continue
+                    out[worker].append(obj)
+                    assigned.add(obj)
+                    break
+        return out

@@ -1,0 +1,30 @@
+"""The paper's primary contribution, re-exported in one place.
+
+``repro.core`` bundles the two algorithms the paper introduces — the TDH
+hierarchical truth-inference model (Section 3) and the EAI task assigner
+(Section 4) — plus the result type that couples them (EAI reuses TDH's EM
+state). Baselines live in :mod:`repro.inference` and
+:mod:`repro.assignment`; substrates in :mod:`repro.hierarchy`,
+:mod:`repro.data`, :mod:`repro.datasets` and :mod:`repro.crowd`.
+"""
+
+from ..assignment.eai import EAIAssigner
+from ..inference.tdh import (
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    DEFAULT_GAMMA,
+    TDHModel,
+    TDHResult,
+)
+from .multi_attribute import MultiAttributeResult, MultiAttributeTruthDiscovery
+
+__all__ = [
+    "TDHModel",
+    "TDHResult",
+    "EAIAssigner",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "DEFAULT_GAMMA",
+    "MultiAttributeTruthDiscovery",
+    "MultiAttributeResult",
+]

@@ -1,0 +1,14 @@
+"""Crowdsourcing substrate: simulated workers and the round-based simulator."""
+
+from .workers import SimulatedWorker, make_amt_panel, make_human_panel, make_worker_pool
+from .simulator import CrowdSimulator, RoundRecord, SimulationHistory
+
+__all__ = [
+    "SimulatedWorker",
+    "make_worker_pool",
+    "make_human_panel",
+    "make_amt_panel",
+    "CrowdSimulator",
+    "RoundRecord",
+    "SimulationHistory",
+]

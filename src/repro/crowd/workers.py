@@ -1,0 +1,133 @@
+"""Simulated crowd workers (paper Section 5, "Settings for simulated
+crowdsourcing" and the human/AMT panels of Sections 5.5-5.6).
+
+The paper's simulated worker answers correctly with its own probability
+``p_w`` and picks a uniformly random candidate otherwise, with
+``p_w ~ U(pi_p - 0.05, pi_p + 0.05)`` and a default ``pi_p = 0.75``.
+
+Human annotators additionally *generalize*: when unsure of the exact place
+they answer with a broader correct region. :class:`SimulatedWorker` models
+both with an ``(exact, generalized, random)`` probability triple; the plain
+simulated worker has a zero generalization component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset, WorkerId
+from ..eval.metrics import effective_truth
+from ..hierarchy.tree import Value
+
+
+@dataclass
+class SimulatedWorker:
+    """A crowd worker with an ``(exact, generalized, random)`` behaviour triple.
+
+    ``p_exact`` is the paper's ``p_w``. When a generalization draw finds no
+    candidate ancestor of the truth (or the truth is unknown), the draw falls
+    back to exact; failing that, to a uniform random candidate.
+    """
+
+    worker_id: WorkerId
+    p_exact: float
+    p_generalize: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_exact <= 1.0:
+            raise ValueError("p_exact must be in [0, 1]")
+        if not 0.0 <= self.p_generalize <= 1.0 - self.p_exact:
+            raise ValueError("p_generalize must leave room for the random case")
+
+    def answer(
+        self,
+        dataset: TruthDiscoveryDataset,
+        obj: ObjectId,
+        rng: np.random.Generator,
+    ) -> Value:
+        """Produce an answer for ``obj`` by selecting among its candidates."""
+        ctx = dataset.context(obj)
+        candidates = ctx.values
+        gold_value = dataset.gold.get(obj)
+        truth = (
+            effective_truth(dataset, obj, gold_value) if gold_value is not None else None
+        )
+        draw = rng.random()
+        if truth is not None and draw < self.p_exact:
+            return truth
+        if truth is not None and draw < self.p_exact + self.p_generalize:
+            ancestors = [
+                candidates[pos] for pos in ctx.ancestor_sets[ctx.index[truth]]
+            ]
+            if ancestors:
+                return ancestors[int(rng.integers(len(ancestors)))]
+            return truth
+        return candidates[int(rng.integers(len(candidates)))]
+
+
+def make_worker_pool(
+    n: int,
+    pi_p: float = 0.75,
+    spread: float = 0.05,
+    seed: Optional[int] = None,
+    p_generalize: float = 0.0,
+    prefix: str = "worker",
+) -> List[SimulatedWorker]:
+    """The paper's simulated panel: ``p_w ~ U(pi_p - spread, pi_p + spread)``."""
+    rng = np.random.default_rng(seed)
+    low = max(pi_p - spread, 0.0)
+    high = min(pi_p + spread, 1.0 - p_generalize)
+    low = min(low, high)
+    return [
+        SimulatedWorker(
+            worker_id=f"{prefix}_{i}",
+            p_exact=float(rng.uniform(low, high)),
+            p_generalize=p_generalize,
+        )
+        for i in range(n)
+    ]
+
+
+def make_human_panel(
+    n: int = 10,
+    seed: Optional[int] = None,
+    pi_p: float = 0.82,
+    p_generalize: float = 0.08,
+) -> List[SimulatedWorker]:
+    """A panel mimicking the paper's 10 human annotators (Section 5.5).
+
+    Humans are more accurate than the default simulated workers and sometimes
+    answer with a correct-but-broader region.
+    """
+    return make_worker_pool(
+        n, pi_p=pi_p, spread=0.06, seed=seed, p_generalize=p_generalize, prefix="human"
+    )
+
+
+def make_amt_panel(n: int = 20, seed: Optional[int] = None) -> List[SimulatedWorker]:
+    """A panel mimicking the paper's 20 AMT workers (Section 5.6).
+
+    Commercial crowds are mixed: a few diligent workers, many average ones
+    and some near-random spammers.
+    """
+    rng = np.random.default_rng(seed)
+    workers: List[SimulatedWorker] = []
+    for i in range(n):
+        tier = rng.random()
+        if tier < 0.2:
+            p_exact = float(rng.uniform(0.85, 0.95))
+        elif tier < 0.85:
+            p_exact = float(rng.uniform(0.6, 0.85))
+        else:
+            p_exact = float(rng.uniform(0.2, 0.4))
+        workers.append(
+            SimulatedWorker(
+                worker_id=f"amt_{i}",
+                p_exact=p_exact,
+                p_generalize=min(0.05, 1.0 - p_exact),
+            )
+        )
+    return workers

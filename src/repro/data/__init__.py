@@ -1,0 +1,17 @@
+"""Data model: records, answers and truth-discovery datasets."""
+
+from .model import (
+    Answer,
+    DatasetError,
+    ObjectContext,
+    Record,
+    TruthDiscoveryDataset,
+)
+
+__all__ = [
+    "Record",
+    "Answer",
+    "TruthDiscoveryDataset",
+    "ObjectContext",
+    "DatasetError",
+]

@@ -1,0 +1,325 @@
+"""Core data model: records, answers and the truth-discovery dataset.
+
+Terminology follows the paper (Section 2.1):
+
+* a **record** ``(o, s, v)`` is a claim by web *source* ``s`` that object
+  ``o`` has value ``v``;
+* an **answer** ``(o, w, v)`` is the same, from a crowd *worker* ``w``;
+* ``Vo`` is the candidate value set of ``o`` (values claimed by sources);
+* ``So`` / ``Wo`` are the sources / workers that claimed about ``o``;
+* ``Go(v)`` / ``Do(v)`` are ``v``'s ancestors / descendants *within* ``Vo``
+  (root excluded);
+* ``OH`` is the set of objects whose candidate set contains at least one
+  ancestor-descendant pair — for the rest, the degenerate likelihoods in
+  Eq. (2) and (4) apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..hierarchy.tree import Hierarchy, Value
+
+ObjectId = Hashable
+SourceId = Hashable
+WorkerId = Hashable
+
+
+@dataclass(frozen=True)
+class Record:
+    """A claim ``(o, s, v)`` from a web source."""
+
+    object: ObjectId
+    source: SourceId
+    value: Value
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A claim ``(o, w, v)`` from a crowd worker."""
+
+    object: ObjectId
+    worker: WorkerId
+    value: Value
+
+
+class DatasetError(ValueError):
+    """Raised for structurally invalid datasets or claims."""
+
+
+@dataclass
+class ObjectContext:
+    """Cached per-object candidate structure used by the inference algorithms.
+
+    Attributes
+    ----------
+    values:
+        The candidate values ``Vo`` in deterministic (insertion) order.
+    index:
+        ``value -> position`` in :attr:`values`.
+    ancestor_sets:
+        ``ancestor_sets[i]`` lists positions of candidates in ``Go(values[i])``
+        — ancestors of candidate ``i`` present in ``Vo`` (root excluded).
+    descendant_sets:
+        ``descendant_sets[i]`` lists positions in ``Do(values[i])``.
+    has_hierarchy:
+        ``True`` iff the object belongs to ``OH`` (some candidate pair is in
+        an ancestor-descendant relationship).
+    """
+
+    values: List[Value]
+    index: Dict[Value, int]
+    ancestor_sets: List[List[int]]
+    descendant_sets: List[List[int]]
+    has_hierarchy: bool
+
+    @property
+    def size(self) -> int:
+        """``|Vo|``."""
+        return len(self.values)
+
+
+class TruthDiscoveryDataset:
+    """A hierarchy plus conflicting claims from sources and (optionally) workers.
+
+    Parameters
+    ----------
+    hierarchy:
+        The value hierarchy ``H``. Every claimed value must be a non-root node.
+    records:
+        Source claims. Duplicate ``(o, s)`` pairs keep the last value, matching
+        the functional-predicate setting (one claim per source per object).
+    answers:
+        Optional initial worker answers.
+    gold:
+        Optional ground-truth mapping ``object -> value`` for evaluation.
+    name:
+        Human-readable dataset label.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        records: Iterable[Record],
+        answers: Iterable[Answer] = (),
+        gold: Optional[Mapping[ObjectId, Value]] = None,
+        name: str = "",
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.name = name
+        self.gold: Dict[ObjectId, Value] = dict(gold or {})
+
+        self._records_by_object: Dict[ObjectId, Dict[SourceId, Value]] = {}
+        self._answers_by_object: Dict[ObjectId, Dict[WorkerId, Value]] = {}
+        self._objects_by_source: Dict[SourceId, List[ObjectId]] = {}
+        self._objects_by_worker: Dict[WorkerId, List[ObjectId]] = {}
+        self._contexts: Dict[ObjectId, ObjectContext] = {}
+
+        for record in records:
+            self.add_record(record)
+        for answer in answers:
+            self.add_answer(answer)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_record(self, record: Record) -> None:
+        """Add (or overwrite) a source claim."""
+        self._check_value(record.value)
+        claims = self._records_by_object.setdefault(record.object, {})
+        if record.source not in claims:
+            self._objects_by_source.setdefault(record.source, []).append(record.object)
+        claims[record.source] = record.value
+        self._contexts.pop(record.object, None)
+
+    def add_answer(self, answer: Answer) -> None:
+        """Add (or overwrite) a worker answer.
+
+        Workers answer by selecting among ``Vo`` (Section 2.1), so an answer
+        with a value outside the candidate set raises :class:`DatasetError`.
+        """
+        self._check_value(answer.value)
+        candidates = self.candidates(answer.object)
+        if answer.value not in candidates:
+            raise DatasetError(
+                f"answer value {answer.value!r} is not a candidate of object"
+                f" {answer.object!r}"
+            )
+        claims = self._answers_by_object.setdefault(answer.object, {})
+        if answer.worker not in claims:
+            self._objects_by_worker.setdefault(answer.worker, []).append(answer.object)
+        claims[answer.worker] = answer.value
+
+    def _check_value(self, value: Value) -> None:
+        if value == self.hierarchy.root:
+            raise DatasetError("claims with the root value carry no information")
+        if value not in self.hierarchy:
+            raise DatasetError(f"claimed value {value!r} is not in the hierarchy")
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> List[ObjectId]:
+        """All objects with at least one record, in first-seen order."""
+        return list(self._records_by_object)
+
+    @property
+    def sources(self) -> List[SourceId]:
+        """All sources, in first-seen order."""
+        return list(self._objects_by_source)
+
+    @property
+    def workers(self) -> List[WorkerId]:
+        """All workers that answered at least once."""
+        return list(self._objects_by_worker)
+
+    @property
+    def num_records(self) -> int:
+        """Total number of source claims."""
+        return sum(len(claims) for claims in self._records_by_object.values())
+
+    @property
+    def num_answers(self) -> int:
+        """Total number of worker answers."""
+        return sum(len(claims) for claims in self._answers_by_object.values())
+
+    def records_for(self, obj: ObjectId) -> Dict[SourceId, Value]:
+        """``source -> claimed value`` for ``obj`` (empty if unknown)."""
+        return dict(self._records_by_object.get(obj, {}))
+
+    def answers_for(self, obj: ObjectId) -> Dict[WorkerId, Value]:
+        """``worker -> answered value`` for ``obj``."""
+        return dict(self._answers_by_object.get(obj, {}))
+
+    def sources_of(self, obj: ObjectId) -> List[SourceId]:
+        """``So`` — the sources claiming about ``obj``."""
+        return list(self._records_by_object.get(obj, {}))
+
+    def workers_of(self, obj: ObjectId) -> List[WorkerId]:
+        """``Wo`` — the workers that answered about ``obj``."""
+        return list(self._answers_by_object.get(obj, {}))
+
+    def objects_of_source(self, source: SourceId) -> List[ObjectId]:
+        """``Os`` — objects claimed by ``source``."""
+        return list(self._objects_by_source.get(source, ()))
+
+    def objects_of_worker(self, worker: WorkerId) -> List[ObjectId]:
+        """``Ow`` — objects answered by ``worker``."""
+        return list(self._objects_by_worker.get(worker, ()))
+
+    def candidates(self, obj: ObjectId) -> List[Value]:
+        """``Vo`` — distinct source-claimed values, in first-claimed order."""
+        return list(self.context(obj).values)
+
+    def iter_records(self) -> Iterable[Record]:
+        """Iterate over all records."""
+        for obj, claims in self._records_by_object.items():
+            for source, value in claims.items():
+                yield Record(obj, source, value)
+
+    def iter_answers(self) -> Iterable[Answer]:
+        """Iterate over all answers."""
+        for obj, claims in self._answers_by_object.items():
+            for worker, value in claims.items():
+                yield Answer(obj, worker, value)
+
+    # ------------------------------------------------------------------
+    # candidate structure
+    # ------------------------------------------------------------------
+    def context(self, obj: ObjectId) -> ObjectContext:
+        """Cached candidate structure ``(Vo, Go, Do, o in OH)`` for ``obj``."""
+        ctx = self._contexts.get(obj)
+        if ctx is None:
+            ctx = self._build_context(obj)
+            self._contexts[obj] = ctx
+        return ctx
+
+    def _build_context(self, obj: ObjectId) -> ObjectContext:
+        claims = self._records_by_object.get(obj)
+        if not claims:
+            raise DatasetError(f"object {obj!r} has no records")
+        values: List[Value] = []
+        index: Dict[Value, int] = {}
+        for value in claims.values():
+            if value not in index:
+                index[value] = len(values)
+                values.append(value)
+        n = len(values)
+        ancestor_sets: List[List[int]] = [[] for _ in range(n)]
+        descendant_sets: List[List[int]] = [[] for _ in range(n)]
+        hierarchy = self.hierarchy
+        for i, value in enumerate(values):
+            for ancestor in hierarchy.ancestors(value):
+                j = index.get(ancestor)
+                if j is not None:
+                    ancestor_sets[i].append(j)
+                    descendant_sets[j].append(i)
+        has_hierarchy = any(ancestor_sets[i] for i in range(n))
+        return ObjectContext(values, index, ancestor_sets, descendant_sets, has_hierarchy)
+
+    @property
+    def hierarchical_objects(self) -> List[ObjectId]:
+        """``OH`` — objects with an ancestor-descendant pair among candidates."""
+        return [obj for obj in self._records_by_object if self.context(obj).has_hierarchy]
+
+    # ------------------------------------------------------------------
+    # utilities
+    # ------------------------------------------------------------------
+    def copy(self, include_answers: bool = True) -> "TruthDiscoveryDataset":
+        """Deep-enough copy sharing the (immutable-in-practice) hierarchy."""
+        clone = TruthDiscoveryDataset(self.hierarchy, (), (), gold=self.gold, name=self.name)
+        clone._records_by_object = {o: dict(c) for o, c in self._records_by_object.items()}
+        clone._objects_by_source = {s: list(v) for s, v in self._objects_by_source.items()}
+        if include_answers:
+            clone._answers_by_object = {
+                o: dict(c) for o, c in self._answers_by_object.items()
+            }
+            clone._objects_by_worker = {
+                w: list(v) for w, v in self._objects_by_worker.items()
+            }
+        return clone
+
+    def scaled(self, factor: int) -> "TruthDiscoveryDataset":
+        """Duplicate objects ``factor`` times (paper Fig 13 scalability setup).
+
+        Copy ``k`` of object ``o`` becomes ``(o, k)`` with the same claims and
+        gold truth; sources are shared across copies, as when duplicating rows.
+        """
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        clone = TruthDiscoveryDataset(
+            self.hierarchy, (), (), name=f"{self.name}x{factor}"
+        )
+        for k in range(factor):
+            for obj, claims in self._records_by_object.items():
+                new_obj = obj if k == 0 else (obj, k)
+                for source, value in claims.items():
+                    clone.add_record(Record(new_obj, source, value))
+                if obj in self.gold:
+                    clone.gold[new_obj] = self.gold[obj]
+        return clone
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics (used by the experiment harness banner)."""
+        n_obj = len(self._records_by_object)
+        sizes = [len(self.context(o).values) for o in self._records_by_object]
+        return {
+            "objects": n_obj,
+            "sources": len(self._objects_by_source),
+            "workers": len(self._objects_by_worker),
+            "records": self.num_records,
+            "answers": self.num_answers,
+            "hierarchy_nodes": len(self.hierarchy),
+            "hierarchy_height": self.hierarchy.height,
+            "mean_candidates": sum(sizes) / n_obj if n_obj else 0.0,
+            "objects_in_OH": len(self.hierarchical_objects),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TruthDiscoveryDataset(name={self.name!r}, objects={len(self.objects)},"
+            f" sources={len(self.sources)}, records={self.num_records},"
+            f" answers={self.num_answers})"
+        )

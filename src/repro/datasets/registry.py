@@ -1,0 +1,46 @@
+"""Dataset registry: ``load_dataset(name)`` for the paper's datasets.
+
+Sizes default to the paper's; pass ``size`` (and friends) to scale down for
+tests. Names are case-insensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..data.model import TruthDiscoveryDataset
+from .stock import claims_to_dataset, make_stock_claims
+from .synthetic import make_birthplaces, make_heritages
+
+
+def _load_stock(seed: int = 23, **kwargs) -> TruthDiscoveryDataset:
+    attribute = kwargs.pop("attribute", "open_price")
+    claims, gold = make_stock_claims(attribute, seed=seed, **kwargs)
+    return claims_to_dataset(claims, gold, name=f"stock-{attribute}")
+
+
+_REGISTRY: Dict[str, Callable[..., TruthDiscoveryDataset]] = {
+    "birthplaces": make_birthplaces,
+    "heritages": make_heritages,
+    "stock": _load_stock,
+}
+
+
+def dataset_names() -> list:
+    """Registered dataset names."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, **kwargs) -> TruthDiscoveryDataset:
+    """Build a registered dataset.
+
+    Examples
+    --------
+    >>> ds = load_dataset("birthplaces", size=500, seed=1)
+    >>> ds.name
+    'birthplaces'
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; options: {dataset_names()}")
+    return _REGISTRY[key](**kwargs)

@@ -1,0 +1,119 @@
+"""Synthetic stock dataset for the numeric experiment (paper Section 5.8).
+
+The original dataset (Li et al., PVLDB 2012) has trading data for 1,000
+symbols from 55 sources. We generate per-attribute claim tables with the
+behaviours the experiment probes:
+
+* sources report at mixed precision (significant-digit truncation — the
+  implicit hierarchy);
+* some sources are noisy (small perturbations);
+* a few claims are *outliers* (scale errors like missing decimal points),
+  which break averaging-based methods (MEAN, CATD) but not selection-based
+  ones (TDH, VOTE).
+
+Each attribute gets its own value scale: ``change_rate`` (small signed
+ratios), ``open_price`` (tens to hundreds), ``eps`` (earnings per share,
+around a few units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+import numpy as np
+
+from ..data.model import Record, TruthDiscoveryDataset
+from ..hierarchy.numeric import build_numeric_hierarchy, round_to_significant
+
+ATTRIBUTES = ("change_rate", "open_price", "eps")
+
+
+@dataclass(frozen=True)
+class StockAttribute:
+    """Generative settings for one numeric attribute."""
+
+    name: str
+    low: float
+    high: float
+    noise_scale: float  # relative perturbation for noisy sources
+    outlier_rate: float
+
+
+ATTRIBUTE_SPECS = {
+    "change_rate": StockAttribute("change_rate", -0.08, 0.08, 0.15, 0.01),
+    "open_price": StockAttribute("open_price", 5.0, 400.0, 0.002, 0.01),
+    "eps": StockAttribute("eps", 0.05, 9.0, 0.08, 0.02),
+}
+
+
+def make_stock_claims(
+    attribute: str,
+    n_objects: int = 1000,
+    n_sources: int = 55,
+    seed: int = 23,
+    max_digits: int = 4,
+) -> Tuple[Dict[Hashable, Dict[Hashable, float]], Dict[Hashable, float]]:
+    """Generate ``(claims, gold)`` for one attribute.
+
+    ``claims[obj][source]`` is the claimed float; ``gold[obj]`` the truth.
+    Sources have individual precision habits (how many significant digits
+    they publish) and error rates.
+    """
+    if attribute not in ATTRIBUTE_SPECS:
+        raise ValueError(f"unknown attribute {attribute!r}; options: {ATTRIBUTES}")
+    spec = ATTRIBUTE_SPECS[attribute]
+    rng = np.random.default_rng(seed)
+
+    precision = rng.integers(2, max_digits + 1, size=n_sources)  # digits published
+    error_rate = np.clip(rng.beta(2.0, 10.0, size=n_sources), 0.0, 0.6)
+    coverage = np.clip(rng.beta(8.0, 2.0, size=n_sources), 0.2, 1.0)
+
+    claims: Dict[Hashable, Dict[Hashable, float]] = {}
+    gold: Dict[Hashable, float] = {}
+    for i in range(n_objects):
+        obj = f"{attribute}_{i}"
+        truth = float(rng.uniform(spec.low, spec.high))
+        truth = round_to_significant(truth, max_digits + 2)
+        gold[obj] = truth
+        per_obj: Dict[Hashable, float] = {}
+        for s in range(n_sources):
+            if rng.random() >= coverage[s]:
+                continue
+            source = f"stock_source_{s}"
+            if rng.random() < spec.outlier_rate:
+                # Scale error: decimal shift, the classic deep-web glitch.
+                value = truth * float(rng.choice([10.0, 100.0, 0.1]))
+            elif rng.random() < error_rate[s]:
+                value = truth * (1.0 + float(rng.normal(0.0, spec.noise_scale)))
+            else:
+                value = truth
+            per_obj[source] = round_to_significant(value, int(precision[s]))
+        if not per_obj:
+            per_obj["stock_source_0"] = round_to_significant(truth, int(precision[0]))
+        claims[obj] = per_obj
+    return claims, gold
+
+
+def claims_to_dataset(
+    claims: Mapping[Hashable, Mapping[Hashable, float]],
+    gold: Mapping[Hashable, float],
+    name: str = "stock",
+    max_digits: int = 6,
+) -> TruthDiscoveryDataset:
+    """Wrap numeric claims in a :class:`TruthDiscoveryDataset`.
+
+    Builds the implicit rounding hierarchy over all claimed values (Section
+    3.2 extension), canonicalises claims onto hierarchy nodes and projects the
+    gold values onto the hierarchy for evaluation.
+    """
+    all_values = {v for per_obj in claims.values() for v in per_obj.values()}
+    all_values.update(float(v) for v in gold.values())
+    hierarchy, canonical = build_numeric_hierarchy(all_values, max_digits=max_digits)
+
+    records: List[Record] = []
+    for obj, per_obj in claims.items():
+        for source, value in per_obj.items():
+            records.append(Record(obj, source, canonical[float(value)]))
+    projected_gold = {obj: canonical[float(v)] for obj, v in gold.items()}
+    return TruthDiscoveryDataset(hierarchy, records, gold=projected_gold, name=name)

@@ -1,0 +1,33 @@
+"""Evaluation: the paper's quality measures for all experiment families."""
+
+from .metrics import EvaluationReport, effective_truth, evaluate, source_accuracy
+from .multitruth import (
+    PRFReport,
+    ancestor_closure,
+    closure_within_candidates,
+    evaluate_multitruth,
+    single_truth_as_sets,
+)
+from .numeric import NumericReport, evaluate_numeric
+from .significance import (
+    BootstrapInterval,
+    accuracy_interval,
+    paired_accuracy_difference,
+)
+
+__all__ = [
+    "evaluate",
+    "EvaluationReport",
+    "effective_truth",
+    "source_accuracy",
+    "evaluate_multitruth",
+    "PRFReport",
+    "ancestor_closure",
+    "closure_within_candidates",
+    "single_truth_as_sets",
+    "evaluate_numeric",
+    "NumericReport",
+    "BootstrapInterval",
+    "accuracy_interval",
+    "paired_accuracy_difference",
+]

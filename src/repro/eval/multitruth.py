@@ -1,0 +1,99 @@
+"""Multi-truth evaluation: precision / recall / F1 (paper Section 5.7).
+
+With hierarchies, the truth ``v`` and all its ancestors are correct, so the
+paper evaluates multi-truth algorithms against the *ancestor closure* of the
+gold value, and converts single-truth outputs to multi-truth by taking the
+closure of the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from ..data.model import ObjectId, TruthDiscoveryDataset
+from ..hierarchy.tree import Hierarchy, Value
+from .metrics import effective_truth
+
+
+@dataclass(frozen=True)
+class PRFReport:
+    """Precision / recall / F1 aggregated over objects (micro-averaged)."""
+
+    precision: float
+    recall: float
+    f1: float
+    num_objects: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {"Precision": self.precision, "Recall": self.recall, "F1": self.f1}
+
+
+def ancestor_closure(hierarchy: Hierarchy, value: Value) -> Set[Value]:
+    """``value`` plus all its non-root ancestors — the paper's multi-truth set."""
+    return set(hierarchy.ancestors_with_self(value))
+
+
+def closure_within_candidates(
+    dataset: TruthDiscoveryDataset, obj: ObjectId, value: Value
+) -> Set[Value]:
+    """Ancestor closure of ``value`` restricted to the candidate set of ``obj``."""
+    ctx = dataset.context(obj)
+    return {v for v in ancestor_closure(dataset.hierarchy, value) if v in ctx.index}
+
+
+def evaluate_multitruth(
+    dataset: TruthDiscoveryDataset,
+    estimated_sets: Mapping[ObjectId, Set[Value]],
+    gold: Optional[Mapping[ObjectId, Value]] = None,
+    restrict_to_candidates: bool = True,
+) -> PRFReport:
+    """Micro-averaged precision / recall / F1 against ancestor-closure truths.
+
+    The gold multi-truth of an object is the ancestor closure of its effective
+    truth, restricted (by default) to the candidate values — an algorithm can
+    only output candidates, so unclaimed ancestors are unreachable and would
+    deflate recall for every method equally.
+    """
+    gold = gold if gold is not None else dataset.gold
+    tp = fp = fn = 0
+    n = 0
+    for obj, gold_value in gold.items():
+        if obj not in estimated_sets:
+            continue
+        n += 1
+        target = effective_truth(dataset, obj, gold_value)
+        if target is None:
+            truth_set: Set[Value] = set()
+        elif restrict_to_candidates:
+            truth_set = closure_within_candidates(dataset, obj, target)
+        else:
+            truth_set = ancestor_closure(dataset.hierarchy, target)
+        predicted = set(estimated_sets[obj])
+        tp += len(predicted & truth_set)
+        fp += len(predicted - truth_set)
+        fn += len(truth_set - predicted)
+    if n == 0:
+        raise ValueError("no overlapping objects between estimates and gold")
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return PRFReport(precision=precision, recall=recall, f1=f1, num_objects=n)
+
+
+def single_truth_as_sets(
+    dataset: TruthDiscoveryDataset, truths: Mapping[ObjectId, Value]
+) -> Dict[ObjectId, Set[Value]]:
+    """Convert single-truth estimates to multi-truth via candidate closure.
+
+    This is the paper's rule for putting single-truth algorithms into Table 5:
+    "we treat the ancestors of v and v itself as the multi-truths of v".
+    """
+    return {
+        obj: closure_within_candidates(dataset, obj, value)
+        for obj, value in truths.items()
+    }

@@ -1,0 +1,45 @@
+"""Numeric evaluation: MAE and relative error (paper Table 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..data.model import ObjectId
+
+
+@dataclass(frozen=True)
+class NumericReport:
+    """Mean absolute error and mean relative error over evaluated objects."""
+
+    mae: float
+    relative_error: float
+    num_objects: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {"MAE": self.mae, "R/E": self.relative_error}
+
+
+def evaluate_numeric(
+    estimated: Mapping[ObjectId, float],
+    gold: Mapping[ObjectId, float],
+    epsilon: float = 1e-9,
+) -> NumericReport:
+    """Score numeric estimates.
+
+    ``relative_error`` for an object is ``|est - truth| / max(|truth|, eps)``;
+    the epsilon guards truths at exactly zero (e.g. a 0.0 change rate).
+    """
+    n = 0
+    abs_error = 0.0
+    rel_error = 0.0
+    for obj, truth in gold.items():
+        if obj not in estimated:
+            continue
+        n += 1
+        err = abs(float(estimated[obj]) - float(truth))
+        abs_error += err
+        rel_error += err / max(abs(float(truth)), epsilon)
+    if n == 0:
+        raise ValueError("no overlapping objects between estimates and gold")
+    return NumericReport(mae=abs_error / n, relative_error=rel_error / n, num_objects=n)

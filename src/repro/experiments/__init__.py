@@ -1,0 +1,43 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Run ``python -m repro.experiments`` for the menu, or
+``python -m repro.experiments table3 [--full]`` for a single experiment.
+"""
+
+from . import (
+    fig1_tendency,
+    table3_inference,
+    table3_extended,
+    fig5_reliability,
+    fig6_assignment,
+    fig7_estimation,
+    table4_combos,
+    fig8_cost,
+    fig11_worker_quality,
+    fig12_runtime,
+    fig13_scaling,
+    fig14_human,
+    fig17_amt,
+    table5_multitruth,
+    table6_numeric,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_tendency,
+    "table3": table3_inference,
+    "table3x": table3_extended,
+    "fig5": fig5_reliability,
+    "fig6": fig6_assignment,
+    "fig7": fig7_estimation,
+    "table4": table4_combos,
+    "fig8": fig8_cost,       # also figs 9 and 10
+    "fig11": fig11_worker_quality,
+    "fig12": fig12_runtime,
+    "fig13": fig13_scaling,
+    "fig14": fig14_human,    # also figs 15 and 16
+    "fig17": fig17_amt,
+    "table5": table5_multitruth,
+    "table6": table6_numeric,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,38 @@
+"""CLI entry point: ``python -m repro.experiments <name> [--full]``."""
+
+import argparse
+import sys
+
+from . import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (e.g. table3, fig6); 'all' runs everything",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's dataset sizes and round counts (slow)",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment is None:
+        parser.print_help()
+        print("\navailable experiments:", ", ".join(sorted(EXPERIMENTS)))
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        EXPERIMENTS[name].main(full=args.full)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Figure 11 — final accuracy when varying the worker quality ``pi_p``.
+
+Simulated workers answer correctly with ``p_w ~ U(pi_p ± 0.05)``. Expected
+shape: accuracy grows with ``pi_p`` for every combo; TDH+EAI is best at every
+``pi_p``; DOCS degrades on Heritages (domain starvation); VOTE+ME is a strong
+floor on Heritages where source reliabilities are unlearnable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .common import HEADLINE_COMBOS, both_datasets, format_series, scale
+from .crowd_runs import run_combo
+
+DEFAULT_PI = (0.55, 0.65, 0.75, 0.85, 0.95)
+
+
+def run(full: bool = False, pi_values: Sequence[float] = DEFAULT_PI) -> Dict[str, dict]:
+    s = scale(full)
+    out: Dict[str, dict] = {}
+    for ds_name, dataset in both_datasets(s).items():
+        series: Dict[str, List[float]] = {
+            f"{inf}+{asg}": [] for inf, asg in HEADLINE_COMBOS
+        }
+        for pi_p in pi_values:
+            for inference, assigner in HEADLINE_COMBOS:
+                history = run_combo(
+                    dataset,
+                    inference,
+                    assigner,
+                    s,
+                    pi_p=pi_p,
+                    evaluate_every=s.rounds,
+                )
+                series[f"{inference}+{assigner}"].append(history.final.accuracy)
+        out[ds_name] = {"pi_p": list(pi_values), **series}
+    return out
+
+
+def main(full: bool = False) -> None:
+    results = run(full)
+    for ds_name, data in results.items():
+        xs = data.pop("pi_p")
+        print(
+            format_series(
+                data, xs, x_label="pi_p",
+                title=f"Figure 11 — final Accuracy vs worker quality ({ds_name})",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Figure 17 — crowdsourcing with (simulated) AMT workers on Heritages.
+
+The paper collects answers from 20 Amazon Mechanical Turk workers for all
+Heritages objects; our substitute is a 20-worker mixed-quality panel (a few
+experts, mostly average workers, some spammers — see
+:func:`repro.crowd.make_amt_panel`). All three quality measures per round for
+the four compared combos.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..crowd.workers import make_amt_panel
+from .common import format_series, load_heritages, scale
+from .crowd_runs import run_combos
+from .fig14_human import COMBOS, METRICS
+
+
+def run(full: bool = False, rounds: int = 20) -> Dict[str, dict]:
+    s = scale(full)
+    dataset = load_heritages(s)
+    panel = make_amt_panel(20, seed=29)
+    histories = run_combos(dataset, COMBOS, s, workers=panel, rounds=rounds)
+    data: Dict[str, dict] = {
+        "rounds": [r.round for r in next(iter(histories.values())).records]
+    }
+    for metric in METRICS:
+        data[metric] = {
+            combo: history.series(metric) for combo, history in histories.items()
+        }
+    return {"Heritages": data}
+
+
+def main(full: bool = False) -> None:
+    results = run(full)
+    for ds_name, data in results.items():
+        rounds = data["rounds"]
+        for metric in METRICS:
+            series = {k: v[::4] for k, v in data[metric].items()}
+            print(
+                format_series(
+                    series,
+                    rounds[::4],
+                    title=f"Figure 17 — {metric}, AMT panel ({ds_name})",
+                )
+            )
+            print()
+
+
+if __name__ == "__main__":
+    main()

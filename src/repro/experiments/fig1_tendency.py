@@ -1,0 +1,59 @@
+"""Figure 1 — generalization tendencies of the sources.
+
+The paper plots, per source, generalized accuracy against exact accuracy:
+sources on the diagonal never generalize; the vertical gap is the source's
+generalization tendency. We report the scatter points for both datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..eval.metrics import source_accuracy
+from .common import ExperimentScale, both_datasets, format_table, scale
+
+
+def run(full: bool = False) -> Dict[str, List[dict]]:
+    """Per-source (claims, accuracy, gen_accuracy) scatter for both datasets."""
+    s = scale(full)
+    out: Dict[str, List[dict]] = {}
+    for name, dataset in both_datasets(s).items():
+        rows = []
+        for source in dataset.sources:
+            stats = source_accuracy(dataset, source)
+            if stats["claims"] == 0:
+                continue
+            rows.append(
+                {
+                    "Source": source,
+                    "Claims": stats["claims"],
+                    "Accuracy": stats["accuracy"],
+                    "GenAccuracy": stats["gen_accuracy"],
+                    "Tendency": stats["gen_accuracy"] - stats["accuracy"],
+                }
+            )
+        rows.sort(key=lambda r: -r["Claims"])
+        out[name] = rows
+    return out
+
+
+def main(full: bool = False) -> None:
+    results = run(full)
+    for name, rows in results.items():
+        shown = rows[:15]
+        print(
+            format_table(
+                shown,
+                ["Source", "Claims", "Accuracy", "GenAccuracy", "Tendency"],
+                title=f"Figure 1 — generalization tendencies ({name}, top {len(shown)} by claims)",
+            )
+        )
+        above_diagonal = sum(1 for r in rows if r["Tendency"] > 0.01)
+        print(
+            f"{above_diagonal}/{len(rows)} sources claim generalized values "
+            "(above the diagonal)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

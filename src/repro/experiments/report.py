@@ -1,0 +1,65 @@
+"""Machine-readable experiment reports.
+
+``export_json`` runs any subset of the registered experiments and writes a
+single JSON document with their raw results, suitable for regenerating plots
+or diffing two runs (e.g. before/after a model change). Results are wrapped
+with the scale settings used so a report is self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from .common import scale
+
+
+def _registry():
+    from . import EXPERIMENTS
+
+    return EXPERIMENTS
+
+
+def run_experiments(
+    names: Optional[Iterable[str]] = None, full: bool = False
+) -> Dict[str, object]:
+    """Run experiments by id and return ``{id: raw run() output}``."""
+    registry = _registry()
+    selected = list(names) if names is not None else sorted(registry)
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; options {sorted(registry)}")
+    return {name: registry[name].run(full=full) for name in selected}
+
+
+def export_json(
+    path: Union[str, Path],
+    names: Optional[Iterable[str]] = None,
+    full: bool = False,
+) -> Dict[str, object]:
+    """Run experiments and write a self-describing JSON report to ``path``.
+
+    Returns the report dictionary (also written to disk). Values that are not
+    JSON-native (e.g. tuples) are coerced by the encoder's default hooks.
+    """
+    results = run_experiments(names, full=full)
+    report = {
+        "scale": asdict(scale(full)),
+        "full": full,
+        "results": results,
+    }
+    document = json.dumps(report, default=_coerce, indent=2)
+    Path(path).write_text(document, encoding="utf-8")
+    return report
+
+
+def _coerce(value):
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy arrays
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value).__name__}")

@@ -1,0 +1,47 @@
+"""Table 3 — performance of the ten truth-inference algorithms, no crowd.
+
+Reports Accuracy / GenAccuracy / AvgDistance on (synthetic) BirthPlaces and
+Heritages. Expected shape per the paper: TDH best on Accuracy and AvgDistance
+on both datasets; VOTE near the top on GenAccuracy because many sources claim
+generalized values; everything degrades on Heritages (long-tail sources).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..eval.metrics import evaluate
+from .common import both_datasets, format_table, inference_factories, scale
+
+
+def run(full: bool = False, algorithms: List[str] | None = None) -> Dict[str, List[dict]]:
+    """Rows per dataset: one per algorithm with the three quality measures."""
+    s = scale(full)
+    factories = inference_factories(s)
+    names = algorithms if algorithms is not None else list(factories)
+    out: Dict[str, List[dict]] = {}
+    for ds_name, dataset in both_datasets(s).items():
+        rows = []
+        for name in names:
+            result = factories[name]().fit(dataset)
+            report = evaluate(dataset, result.truths())
+            rows.append({"Algorithm": name, **report.as_row()})
+        out[ds_name] = rows
+    return out
+
+
+def main(full: bool = False) -> None:
+    results = run(full)
+    for ds_name, rows in results.items():
+        print(
+            format_table(
+                rows,
+                ["Algorithm", "Accuracy", "GenAccuracy", "AvgDistance"],
+                title=f"Table 3 — truth inference ({ds_name})",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

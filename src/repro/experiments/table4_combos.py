@@ -1,0 +1,52 @@
+"""Table 4 — accuracy of every inference x assignment combo after the last round.
+
+Impossible pairings (e.g. VOTE+EAI — EAI needs TDH's EM state) are reported
+as "-", matching the paper's table. Expected shape: TDH+EAI best overall;
+TDH rows dominate their columns; EAI > QASCA > ME within the TDH row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .common import TABLE4_COMBOS, both_datasets, format_table, scale
+from .crowd_runs import run_combo
+
+ASSIGNER_COLUMNS = ("EAI", "MB", "QASCA", "ME")
+
+
+def run(full: bool = False) -> Dict[str, List[dict]]:
+    s = scale(full)
+    out: Dict[str, List[dict]] = {}
+    for ds_name, dataset in both_datasets(s).items():
+        rows = []
+        for inference, assigners in TABLE4_COMBOS.items():
+            row: Dict[str, object] = {"Algorithm": inference}
+            for assigner in ASSIGNER_COLUMNS:
+                if assigner not in assigners:
+                    row[assigner] = "-"
+                    continue
+                history = run_combo(
+                    dataset, inference, assigner, s, evaluate_every=s.rounds
+                )
+                row[assigner] = history.final.accuracy
+            rows.append(row)
+        out[ds_name] = rows
+    return out
+
+
+def main(full: bool = False) -> None:
+    results = run(full)
+    for ds_name, rows in results.items():
+        print(
+            format_table(
+                rows,
+                ["Algorithm", *ASSIGNER_COLUMNS],
+                title=f"Table 4 — Accuracy after the final round ({ds_name})",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Hierarchy substrate: value trees, builders and numeric implicit hierarchies."""
+
+from .tree import Hierarchy, HierarchyError, ROOT, generalization_chain
+from .builders import (
+    from_child_parent_edges,
+    from_location_strings,
+    from_parent_map,
+    from_paths,
+)
+from .numeric import (
+    build_numeric_hierarchy,
+    is_rounding_ancestor,
+    round_to_significant,
+    rounding_chain,
+    significant_digits,
+)
+
+__all__ = [
+    "Hierarchy",
+    "HierarchyError",
+    "ROOT",
+    "generalization_chain",
+    "from_paths",
+    "from_location_strings",
+    "from_child_parent_edges",
+    "from_parent_map",
+    "build_numeric_hierarchy",
+    "rounding_chain",
+    "round_to_significant",
+    "significant_digits",
+    "is_rounding_ancestor",
+]

@@ -1,0 +1,76 @@
+"""Builders that construct :class:`~repro.hierarchy.tree.Hierarchy` objects.
+
+The paper derives its geographical hierarchies from IMDb-style location
+strings such as ``"LA, California, USA"`` (Section 5, Datasets). These helpers
+mirror that construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence, Tuple
+
+from .tree import Hierarchy, HierarchyError, Value
+
+
+def from_paths(paths: Iterable[Sequence[Value]], root: Value = None) -> Hierarchy:
+    """Build a hierarchy from root-first paths.
+
+    ``from_paths([["USA", "California", "LA"], ["USA", "NY"]])`` yields a tree
+    where ``LA`` is under ``California`` under ``USA``.
+    """
+    hierarchy = Hierarchy() if root is None else Hierarchy(root)
+    for path in paths:
+        hierarchy.add_path(list(path))
+    return hierarchy
+
+
+def from_location_strings(
+    locations: Iterable[str], separator: str = ",", root: Value = None
+) -> Hierarchy:
+    """Build a hierarchy from most-specific-first location strings.
+
+    Mirrors the paper's IMDb construction: ``"LA, California, USA"`` assigns
+    ``LA`` as a child of ``California`` and ``California`` as a child of
+    ``USA``. Whitespace around separators is stripped, empty segments dropped.
+    """
+    paths = []
+    for location in locations:
+        parts = [part.strip() for part in location.split(separator)]
+        parts = [part for part in parts if part]
+        if not parts:
+            continue
+        paths.append(list(reversed(parts)))
+    return from_paths(paths, root=root)
+
+
+def from_child_parent_edges(
+    edges: Iterable[Tuple[Value, Value]], root: Value = None
+) -> Hierarchy:
+    """Build a hierarchy from ``(child, parent)`` edges.
+
+    Edges may arrive in any order; unresolved edges are retried until a fixed
+    point, and leftovers indicate a parent never connected to the root.
+    """
+    hierarchy = Hierarchy() if root is None else Hierarchy(root)
+    pending = list(edges)
+    while pending:
+        made_progress = False
+        deferred = []
+        for child, parent in pending:
+            if parent in hierarchy:
+                hierarchy.add_edge(child, parent)
+                made_progress = True
+            else:
+                deferred.append((child, parent))
+        if not made_progress:
+            missing = sorted({repr(parent) for _, parent in deferred})
+            raise HierarchyError(
+                f"edges reference parents unreachable from the root: {missing}"
+            )
+        pending = deferred
+    return hierarchy
+
+
+def from_parent_map(parent_of: Mapping[Value, Value], root: Value = None) -> Hierarchy:
+    """Build a hierarchy from a ``child -> parent`` mapping."""
+    return from_child_parent_edges(parent_of.items(), root=root)

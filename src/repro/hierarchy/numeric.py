@@ -1,0 +1,112 @@
+"""Implicit hierarchies for numerical data (paper Section 3.2, extension).
+
+The paper treats significant digits as an implicit hierarchy: ``va`` is an
+ancestor of ``vd`` when ``va`` can be obtained from ``vd`` by rounding off
+trailing digits (e.g. ``605.196 -> 605.2 -> 605``). This lets the categorical
+TDH machinery run unchanged over numeric claims and makes the estimator robust
+to outliers, because the truth is *selected* from claimed values rather than
+averaged.
+
+The chains produced here round *iteratively* (each level rounds the previous
+level), so a value's parent is a function of that value alone and merged
+chains always agree — a requirement for the tree to be well-formed.
+"""
+
+from __future__ import annotations
+
+import math
+from decimal import Decimal, InvalidOperation
+from typing import Dict, Iterable, List, Tuple
+
+from .tree import Hierarchy
+
+
+def significant_digits(value: float | str) -> int:
+    """Number of significant digits in the decimal rendering of ``value``.
+
+    Strings preserve trailing zeros (``"605.20"`` has 5); floats are rendered
+    via ``str`` so ``605.2`` has 4.
+    """
+    try:
+        dec = Decimal(str(value))
+    except InvalidOperation as exc:
+        raise ValueError(f"not a decimal value: {value!r}") from exc
+    if isinstance(value, float):
+        # Floats carry no trailing-zero information ("94550.0" could be 4 or
+        # 5 significant digits); normalise to the shortest form.
+        dec = dec.normalize()
+    digits = dec.as_tuple().digits
+    i = 0
+    while i < len(digits) - 1 and digits[i] == 0:
+        i += 1
+    return len(digits) - i
+
+
+def round_to_significant(value: float, ndigits: int) -> float:
+    """Round ``value`` to ``ndigits`` significant digits.
+
+    ``round_to_significant(605.196, 4) == 605.2``. Zero and non-finite values
+    are returned unchanged.
+    """
+    if ndigits < 1:
+        raise ValueError("ndigits must be >= 1")
+    if value == 0 or not math.isfinite(value):
+        return value
+    # Decimal-string based rounding avoids the binary-float dirt that
+    # multiply-round-divide schemes produce at powers of ten.
+    return float(format(value, f".{ndigits}g"))
+
+
+def rounding_chain(
+    value: float, max_digits: int = 6, min_digits: int = 1
+) -> List[float]:
+    """Successive round-offs of ``value``, most specific first.
+
+    The head is ``value`` canonicalised to ``max_digits`` significant digits;
+    each subsequent entry rounds the *previous* entry one digit coarser, with
+    no-op roundings collapsed. The final entry has ``min_digits`` precision.
+    """
+    if max_digits < min_digits:
+        raise ValueError("max_digits must be >= min_digits")
+    current = round_to_significant(value, max_digits)
+    chain = [current]
+    for ndigits in range(max_digits - 1, min_digits - 1, -1):
+        current = round_to_significant(current, ndigits)
+        if current != chain[-1]:
+            chain.append(current)
+    return chain
+
+
+def is_rounding_ancestor(
+    ancestor: float, descendant: float, max_digits: int = 6
+) -> bool:
+    """``True`` iff ``ancestor`` appears above ``descendant`` in its chain.
+
+    This is exactly the tree relation used by :func:`build_numeric_hierarchy`,
+    i.e. the paper's "``va`` can be obtained by rounding off ``vd``" rule.
+    """
+    chain = rounding_chain(descendant, max_digits=max_digits)
+    return ancestor in chain[1:]
+
+
+def build_numeric_hierarchy(
+    claims: Iterable[float], max_digits: int = 6
+) -> Tuple[Hierarchy, Dict[float, float]]:
+    """Build the implicit rounding hierarchy over distinct numeric claims.
+
+    Each distinct claim contributes its rounding chain as a root-first path;
+    chains sharing coarse round-offs merge. Returns ``(hierarchy, canonical)``
+    where ``canonical`` maps each input claim to its node in the tree (inputs
+    are canonicalised to ``max_digits`` significant digits, so ``605.1961``
+    and ``605.19612`` coincide at ``max_digits=6``).
+    """
+    hierarchy = Hierarchy()
+    canonical: Dict[float, float] = {}
+    for raw in claims:
+        value = float(raw)
+        if value in canonical:
+            continue
+        chain = rounding_chain(value, max_digits=max_digits)
+        hierarchy.add_path(list(reversed(chain)))
+        canonical[value] = chain[0]
+    return hierarchy, canonical

@@ -1,0 +1,275 @@
+"""Rooted hierarchy tree over claimed values.
+
+The paper assumes a hierarchy tree ``H`` over the claimed values (Section 2.1),
+e.g. a geographical containment hierarchy ``Earth > USA > California > LA``.
+This module provides :class:`Hierarchy`, an immutable-after-freeze rooted tree
+with O(1) parent lookup, cached depth, ancestor/descendant queries and the
+tree distance ``d(u, v)`` used by the *AvgDistance* quality measure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Value = Hashable
+
+ROOT = "__ROOT__"
+"""Default label for the implicit root node ("Earth" in the paper's example).
+
+The root carries no information; the paper assumes no source or worker ever
+claims it (Section 2.1).
+"""
+
+
+class HierarchyError(ValueError):
+    """Raised for structurally invalid hierarchy operations."""
+
+
+class Hierarchy:
+    """A rooted tree of values with ancestor/descendant/distance queries.
+
+    Parameters
+    ----------
+    root:
+        Label of the root node. The root is excluded from ``ancestors`` results
+        because a claimed value equal to the root is uninformative.
+
+    Examples
+    --------
+    >>> h = Hierarchy()
+    >>> h.add_edge("USA", h.root)
+    >>> h.add_edge("California", "USA")
+    >>> h.add_edge("LA", "California")
+    >>> h.is_ancestor("USA", "LA")
+    True
+    >>> h.distance("LA", "USA")
+    2
+    """
+
+    def __init__(self, root: Value = ROOT) -> None:
+        self._root = root
+        self._parent: Dict[Value, Value] = {}
+        self._children: Dict[Value, List[Value]] = {root: []}
+        self._depth: Dict[Value, int] = {root: 0}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Value:
+        """The root node label."""
+        return self._root
+
+    def add_edge(self, child: Value, parent: Value) -> None:
+        """Attach ``child`` under ``parent``.
+
+        ``parent`` must already be in the tree (the root always is). Re-adding
+        an identical edge is a no-op; moving a node raises
+        :class:`HierarchyError` since hierarchies here are append-only.
+        """
+        if parent not in self._children:
+            raise HierarchyError(f"parent {parent!r} is not in the hierarchy")
+        if child == self._root:
+            raise HierarchyError("the root cannot be a child")
+        existing = self._parent.get(child)
+        if existing is not None:
+            if existing == parent:
+                return
+            raise HierarchyError(
+                f"{child!r} already has parent {existing!r}; nodes cannot move"
+            )
+        self._parent[child] = parent
+        self._children[parent].append(child)
+        self._children[child] = []
+        self._depth[child] = self._depth[parent] + 1
+
+    def add_path(self, path: Sequence[Value]) -> None:
+        """Add a root-to-leaf path, most general value first.
+
+        ``add_path(["USA", "California", "LA"])`` creates/extends the chain
+        ``root > USA > California > LA``. Existing prefixes are reused; a
+        conflicting parent raises :class:`HierarchyError`.
+        """
+        parent = self._root
+        for value in path:
+            if value in self._parent:
+                if self._parent[value] != parent:
+                    raise HierarchyError(
+                        f"{value!r} already attached under {self._parent[value]!r},"
+                        f" conflicting with requested parent {parent!r}"
+                    )
+            else:
+                self.add_edge(value, parent)
+            parent = value
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, value: Value) -> bool:
+        return value in self._children
+
+    def __len__(self) -> int:
+        """Number of nodes including the root."""
+        return len(self._children)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._children)
+
+    def nodes(self) -> Iterator[Value]:
+        """Iterate over all nodes including the root."""
+        return iter(self._children)
+
+    def non_root_nodes(self) -> Iterator[Value]:
+        """Iterate over all nodes except the root (the claimable values)."""
+        return iter(self._parent)
+
+    def parent(self, value: Value) -> Optional[Value]:
+        """Parent of ``value``, or ``None`` for the root.
+
+        Raises :class:`KeyError` for unknown values.
+        """
+        if value == self._root:
+            return None
+        return self._parent[value]
+
+    def children(self, value: Value) -> Tuple[Value, ...]:
+        """Immediate children of ``value``."""
+        return tuple(self._children[value])
+
+    def depth(self, value: Value) -> int:
+        """Number of edges from the root (root has depth 0)."""
+        return self._depth[value]
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over all nodes (paper: BirthPlaces 5, Heritages 6)."""
+        return max(self._depth.values(), default=0)
+
+    def ancestors(self, value: Value) -> List[Value]:
+        """Proper ancestors of ``value``, nearest first, **excluding** the root.
+
+        This matches the paper's convention for ``Go(v)``: the root conveys no
+        information so it never counts as a (generalized) correct value.
+        """
+        out: List[Value] = []
+        node = self._parent.get(value)
+        while node is not None and node != self._root:
+            out.append(node)
+            node = self._parent.get(node)
+        return out
+
+    def ancestors_with_self(self, value: Value) -> List[Value]:
+        """``value`` followed by its proper non-root ancestors, nearest first."""
+        return [value, *self.ancestors(value)]
+
+    def is_ancestor(self, candidate: Value, value: Value) -> bool:
+        """``True`` iff ``candidate`` is a proper non-root ancestor of ``value``."""
+        if candidate == self._root or candidate == value:
+            return False
+        node = self._parent.get(value)
+        cand_depth = self._depth.get(candidate)
+        if cand_depth is None:
+            return False
+        while node is not None and node != self._root:
+            if node == candidate:
+                return True
+            if self._depth[node] <= cand_depth:
+                return False
+            node = self._parent.get(node)
+        return False
+
+    def is_descendant(self, candidate: Value, value: Value) -> bool:
+        """``True`` iff ``candidate`` is a proper descendant of ``value``."""
+        return self.is_ancestor(value, candidate)
+
+    def descendants(self, value: Value) -> List[Value]:
+        """All proper descendants of ``value`` in BFS order."""
+        out: List[Value] = []
+        queue = deque(self._children.get(value, ()))
+        while queue:
+            node = queue.popleft()
+            out.append(node)
+            queue.extend(self._children[node])
+        return out
+
+    def subtree_size(self, value: Value) -> int:
+        """Number of nodes in the subtree rooted at ``value`` (inclusive)."""
+        return 1 + len(self.descendants(value))
+
+    def lowest_common_ancestor(self, u: Value, v: Value) -> Value:
+        """Lowest common ancestor of ``u`` and ``v`` (may be the root)."""
+        du, dv = self._node_depth(u), self._node_depth(v)
+        while du > dv:
+            u = self._strict_parent(u)
+            du -= 1
+        while dv > du:
+            v = self._strict_parent(v)
+            dv -= 1
+        while u != v:
+            u = self._strict_parent(u)
+            v = self._strict_parent(v)
+        return u
+
+    def distance(self, u: Value, v: Value) -> int:
+        """Number of edges between ``u`` and ``v`` (AvgDistance metric, Sec 5)."""
+        if u == v:
+            return 0
+        lca = self.lowest_common_ancestor(u, v)
+        return self._node_depth(u) + self._node_depth(v) - 2 * self._node_depth(lca)
+
+    def path_to_root(self, value: Value) -> List[Value]:
+        """Path from ``value`` up to (and including) the root."""
+        out = [value]
+        node = value
+        while node != self._root:
+            node = self._strict_parent(node)
+            out.append(node)
+        return out
+
+    def leaves(self) -> List[Value]:
+        """All nodes without children."""
+        return [node for node, kids in self._children.items() if not kids]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`HierarchyError` on failure.
+
+        Verifies that every node is reachable from the root (no orphans or
+        cycles, which the append-only construction should already prevent).
+        """
+        seen: Set[Value] = set()
+        queue = deque([self._root])
+        while queue:
+            node = queue.popleft()
+            if node in seen:
+                raise HierarchyError(f"cycle detected at {node!r}")
+            seen.add(node)
+            queue.extend(self._children[node])
+        if len(seen) != len(self._children):
+            orphans = set(self._children) - seen
+            raise HierarchyError(f"unreachable nodes: {sorted(map(repr, orphans))}")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _node_depth(self, value: Value) -> int:
+        try:
+            return self._depth[value]
+        except KeyError:
+            raise KeyError(f"{value!r} is not in the hierarchy") from None
+
+    def _strict_parent(self, value: Value) -> Value:
+        if value == self._root:
+            raise HierarchyError("root has no parent")
+        return self._parent[value]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Hierarchy(nodes={len(self)}, height={self.height}, "
+            f"root={self._root!r})"
+        )
+
+
+def generalization_chain(hierarchy: Hierarchy, value: Value) -> List[Value]:
+    """Values that are acceptable generalizations of ``value``: itself + ancestors."""
+    return hierarchy.ancestors_with_self(value)

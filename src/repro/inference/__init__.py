@@ -1,0 +1,54 @@
+"""Truth-inference algorithms: TDH (the paper's) plus all compared baselines."""
+
+from .base import InferenceResult, TruthInferenceAlgorithm, initial_confidences
+from .tdh import TDHModel, TDHResult
+from .vote import Vote
+from .accu import Accu, PopAccu
+from .lfc import Lfc, LfcMT
+from .crh import Crh, CrhNumeric
+from .lca import GuessLca
+from .asums import Asums
+from .mdc import Mdc
+from .docs import Docs
+from .ltm import Ltm
+from .dart import Dart
+from .numeric import Catd, Mean, Median
+from .numeric_tdh import NumericTdh
+from .diagnostics import log_likelihood, log_posterior, objective_trace
+from .weblink import AverageLog, Investment, PooledInvestment, Sums, TruthFinder
+from .dawid_skene import DawidSkene, ZenCrowd
+
+__all__ = [
+    "TruthInferenceAlgorithm",
+    "InferenceResult",
+    "initial_confidences",
+    "TDHModel",
+    "TDHResult",
+    "Vote",
+    "Accu",
+    "PopAccu",
+    "Lfc",
+    "LfcMT",
+    "Crh",
+    "CrhNumeric",
+    "GuessLca",
+    "Asums",
+    "Mdc",
+    "Docs",
+    "Ltm",
+    "Dart",
+    "Catd",
+    "Mean",
+    "Median",
+    "NumericTdh",
+    "log_likelihood",
+    "log_posterior",
+    "objective_trace",
+    "Sums",
+    "AverageLog",
+    "Investment",
+    "PooledInvestment",
+    "TruthFinder",
+    "DawidSkene",
+    "ZenCrowd",
+]

@@ -1,0 +1,120 @@
+"""Common interfaces for truth-inference algorithms.
+
+Every algorithm consumes a :class:`~repro.data.model.TruthDiscoveryDataset`
+and produces an :class:`InferenceResult` holding a per-object *confidence
+distribution* over candidate values. Single-truth algorithms pick the argmax;
+multi-truth algorithms (LTM, DART, LFC-MT) additionally report a value set per
+object via :meth:`InferenceResult.truth_sets`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, List, Mapping, Optional, Set
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset
+from ..hierarchy.tree import Value
+
+
+class InferenceResult:
+    """Per-object confidence distributions and derived truths.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset the algorithm was fitted on.
+    confidences:
+        ``object -> probability vector`` aligned with
+        ``dataset.context(obj).values``. Vectors need not be normalised for
+        score-based algorithms; :meth:`confidence` normalises on read.
+    iterations / converged:
+        Optional fitting diagnostics.
+    """
+
+    def __init__(
+        self,
+        dataset: TruthDiscoveryDataset,
+        confidences: Mapping[ObjectId, np.ndarray],
+        iterations: int = 0,
+        converged: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.confidences: Dict[ObjectId, np.ndarray] = {
+            obj: np.asarray(vec, dtype=float) for obj, vec in confidences.items()
+        }
+        self.iterations = iterations
+        self.converged = converged
+
+    def confidence(self, obj: ObjectId) -> Dict[Value, float]:
+        """Normalised ``value -> confidence`` for ``obj``."""
+        vec = self.confidences[obj]
+        total = float(vec.sum())
+        values = self.dataset.context(obj).values
+        if total <= 0:
+            uniform = 1.0 / len(values)
+            return {value: uniform for value in values}
+        return {value: float(p) / total for value, p in zip(values, vec)}
+
+    def truth(self, obj: ObjectId) -> Value:
+        """The estimated truth for ``obj`` (argmax confidence, Eq. 12)."""
+        vec = self.confidences[obj]
+        return self.dataset.context(obj).values[int(np.argmax(vec))]
+
+    def truths(self) -> Dict[ObjectId, Value]:
+        """Estimated truth for every object."""
+        return {obj: self.truth(obj) for obj in self.confidences}
+
+    def truth_sets(self) -> Dict[ObjectId, Set[Value]]:
+        """Multi-truth view; single-truth algorithms return singletons."""
+        return {obj: {self.truth(obj)} for obj in self.confidences}
+
+
+class TruthInferenceAlgorithm(abc.ABC):
+    """Base class for truth-inference algorithms.
+
+    Subclasses set :attr:`name` (the label used in the paper's tables) and
+    implement :meth:`fit`. Algorithms that model crowd answers consume both
+    records and answers; the rest fold answers in as extra single-claim
+    sources, which is how the paper combines source-only baselines with task
+    assignment (``X+ME`` rows in Table 4).
+    """
+
+    name: str = "base"
+    supports_workers: bool = False
+
+    @abc.abstractmethod
+    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        """Run inference and return confidences over candidate values."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def initial_confidences(dataset: TruthDiscoveryDataset) -> Dict[ObjectId, np.ndarray]:
+    """Vote-proportion initial confidence for every object.
+
+    Counts both records and answers; this is the standard EM initialisation
+    used across the probabilistic algorithms in this package.
+    """
+    out: Dict[ObjectId, np.ndarray] = {}
+    for obj in dataset.objects:
+        ctx = dataset.context(obj)
+        counts = np.zeros(ctx.size, dtype=float)
+        for value in dataset.records_for(obj).values():
+            counts[ctx.index[value]] += 1.0
+        for value in dataset.answers_for(obj).values():
+            counts[ctx.index[value]] += 1.0
+        total = counts.sum()
+        out[obj] = counts / total if total > 0 else np.full(ctx.size, 1.0 / ctx.size)
+    return out
+
+
+def claim_counts(dataset: TruthDiscoveryDataset, obj: ObjectId) -> np.ndarray:
+    """Number of *source* claims per candidate value of ``obj``."""
+    ctx = dataset.context(obj)
+    counts = np.zeros(ctx.size, dtype=float)
+    for value in dataset.records_for(obj).values():
+        counts[ctx.index[value]] += 1.0
+    return counts

@@ -1,0 +1,153 @@
+"""LFC — Learning From Crowds (Raykar et al., JMLR 2010).
+
+Models every source/worker with a *confusion matrix* over the global value
+space: ``pi_s[t][c]`` is the probability of claiming ``c`` when the truth is
+``t``. We keep the matrices sparse (only observed pairs are materialised) with
+Dirichlet smoothing over the object's candidate set, which preserves the
+original model's behaviour while staying tractable — the paper notes LFC is
+the slowest algorithm on BirthPlaces precisely because its state is quadratic
+in the number of distinct values.
+
+``LfcMT`` is the multi-truth reading used in Table 5: every value whose
+posterior exceeds a threshold is emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset
+from ..hierarchy.tree import Value
+from .base import InferenceResult, TruthInferenceAlgorithm, initial_confidences
+
+
+class Lfc(TruthInferenceAlgorithm):
+    """Confusion-matrix EM over sources and workers.
+
+    Parameters
+    ----------
+    smoothing:
+        Dirichlet pseudo-count added to every (truth, claimed) cell.
+    max_iter / tol:
+        EM stopping rule on confidence change.
+    """
+
+    name = "LFC"
+    supports_workers = True
+
+    def __init__(self, smoothing: float = 1.0, max_iter: int = 50, tol: float = 1e-5) -> None:
+        self.smoothing = smoothing
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        mu = initial_confidences(dataset)
+        claims_cache = {
+            obj: self._claims_of(dataset, obj) for obj in dataset.objects
+        }
+        iterations = 0
+        converged = False
+        confusion: Dict[Hashable, Dict[Tuple[Value, Value], float]] = {}
+        totals: Dict[Hashable, Dict[Value, float]] = {}
+
+        for iterations in range(1, self.max_iter + 1):
+            # M-step for confusion matrices from current responsibilities.
+            confusion = {}
+            totals = {}
+            for obj, claims in claims_cache.items():
+                ctx = dataset.context(obj)
+                probs = mu[obj]
+                for claimant, claimed in claims.items():
+                    cell = confusion.setdefault(claimant, {})
+                    tot = totals.setdefault(claimant, {})
+                    for pos, truth in enumerate(ctx.values):
+                        weight = float(probs[pos])
+                        if weight <= 0:
+                            continue
+                        cell[(truth, claimed)] = cell.get((truth, claimed), 0.0) + weight
+                        tot[truth] = tot.get(truth, 0.0) + weight
+
+            # E-step: posterior over candidate truths.
+            new_mu: Dict[ObjectId, np.ndarray] = {}
+            delta = 0.0
+            for obj, claims in claims_cache.items():
+                ctx = dataset.context(obj)
+                n = ctx.size
+                log_post = np.zeros(n)
+                for claimant, claimed in claims.items():
+                    cell = confusion.get(claimant, {})
+                    tot = totals.get(claimant, {})
+                    for pos, truth in enumerate(ctx.values):
+                        numerator = cell.get((truth, claimed), 0.0) + self.smoothing
+                        denominator = tot.get(truth, 0.0) + self.smoothing * n
+                        log_post[pos] += np.log(numerator / denominator)
+                log_post -= log_post.max()
+                posterior = np.exp(log_post)
+                posterior /= posterior.sum()
+                delta = max(delta, float(np.max(np.abs(posterior - mu[obj]))))
+                new_mu[obj] = posterior
+            mu = new_mu
+            if delta < self.tol:
+                converged = True
+                break
+        return InferenceResult(dataset, mu, iterations, converged)
+
+    @staticmethod
+    def _claims_of(dataset: TruthDiscoveryDataset, obj: ObjectId) -> Dict[Hashable, Value]:
+        claims: Dict[Hashable, Value] = dict(dataset.records_for(obj))
+        for worker, value in dataset.answers_for(obj).items():
+            claims[("worker", worker)] = value
+        return claims
+
+
+class LfcMT(Lfc):
+    """Multi-truth LFC (Table 5's LFC-MT).
+
+    Runs per-value binary inference: for each candidate value, sources that
+    claimed it support "true", sources that claimed something else that is not
+    an ancestor/descendant support "false". Values with posterior above
+    ``threshold`` are emitted.
+    """
+
+    name = "LFC-MT"
+
+    def __init__(self, threshold: float = 0.5, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.threshold = threshold
+
+    def fit(self, dataset: TruthDiscoveryDataset) -> "LfcMTResult":
+        base = super().fit(dataset)
+        hierarchy = dataset.hierarchy
+        truth_sets: Dict[ObjectId, Set[Value]] = {}
+        for obj in dataset.objects:
+            ctx = dataset.context(obj)
+            probs = base.confidences[obj]
+            chosen = {
+                value
+                for value, p in zip(ctx.values, probs)
+                if p >= self.threshold
+            }
+            best = ctx.values[int(np.argmax(probs))]
+            chosen.add(best)
+            # A value and its candidate ancestors are mutually compatible;
+            # emit the closure of each chosen value within the candidates.
+            closed = set(chosen)
+            for value in chosen:
+                for ancestor in hierarchy.ancestors(value):
+                    if ancestor in ctx.index:
+                        closed.add(ancestor)
+            truth_sets[obj] = closed
+        return LfcMTResult(dataset, base.confidences, truth_sets, base.iterations, base.converged)
+
+
+class LfcMTResult(InferenceResult):
+    """LFC-MT result carrying explicit truth sets."""
+
+    def __init__(self, dataset, confidences, truth_sets, iterations, converged) -> None:
+        super().__init__(dataset, confidences, iterations, converged)
+        self._truth_sets = truth_sets
+
+    def truth_sets(self) -> Dict[ObjectId, Set[Value]]:
+        return {obj: set(values) for obj, values in self._truth_sets.items()}

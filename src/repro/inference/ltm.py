@@ -1,0 +1,160 @@
+"""LTM — Latent Truth Model (Zhao et al., PVLDB 2012), multi-truth baseline.
+
+LTM gives every (object, value) pair a binary latent truth flag and every
+source a two-sided quality: *sensitivity* (recall — probability of claiming a
+value that is true) and *specificity* (probability of not claiming a value
+that is false). The original samples with collapsed Gibbs; we use the
+mean-field EM fixed point, which converges to the same posterior means for
+this model family and keeps the run deterministic.
+
+A source "claims" value ``v`` of object ``o`` if its claimed value is ``v``;
+because our predicates are functional (one claim per source per object),
+every other candidate counts as "not claimed" by that source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset
+from ..hierarchy.tree import Value
+from .base import InferenceResult, TruthInferenceAlgorithm
+
+
+class LtmResult(InferenceResult):
+    """LTM result: per-value truth probabilities and thresholded truth sets."""
+
+    def __init__(self, dataset, confidences, truth_probability, threshold, iterations, converged):
+        super().__init__(dataset, confidences, iterations, converged)
+        self.truth_probability = truth_probability
+        self.threshold = threshold
+
+    def truth_sets(self) -> Dict[ObjectId, Set[Value]]:
+        out: Dict[ObjectId, Set[Value]] = {}
+        for obj, probs in self.truth_probability.items():
+            ctx = self.dataset.context(obj)
+            chosen = {
+                value for value, p in zip(ctx.values, probs) if p >= self.threshold
+            }
+            if not chosen:
+                chosen = {ctx.values[int(np.argmax(probs))]}
+            out[obj] = chosen
+        return out
+
+
+class Ltm(TruthInferenceAlgorithm):
+    """Mean-field latent truth model.
+
+    Parameters
+    ----------
+    prior_true:
+        Prior probability that a candidate value is true.
+    threshold:
+        Posterior cut-off for including a value in the truth set.
+    max_iter / tol:
+        Fixed-point stopping rule.
+    smoothing:
+        Beta pseudo-counts for sensitivity/specificity updates.
+    """
+
+    name = "LTM"
+    supports_workers = True
+
+    def __init__(
+        self,
+        prior_true: float = 0.5,
+        threshold: float = 0.5,
+        max_iter: int = 40,
+        tol: float = 1e-5,
+        smoothing: float = 1.0,
+    ) -> None:
+        self.prior_true = prior_true
+        self.threshold = threshold
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+
+    def fit(self, dataset: TruthDiscoveryDataset) -> LtmResult:
+        claims_cache = {obj: self._claims_of(dataset, obj) for obj in dataset.objects}
+        claimants = {c for claims in claims_cache.values() for c in claims}
+        sensitivity: Dict[Hashable, float] = {c: 0.7 for c in claimants}
+        specificity: Dict[Hashable, float] = {c: 0.9 for c in claimants}
+        truth_prob: Dict[ObjectId, np.ndarray] = {
+            obj: np.full(dataset.context(obj).size, self.prior_true)
+            for obj in dataset.objects
+        }
+
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iter + 1):
+            # E-step: per-value posterior of being true.
+            new_probs: Dict[ObjectId, np.ndarray] = {}
+            delta = 0.0
+            for obj, claims in claims_cache.items():
+                ctx = dataset.context(obj)
+                n = ctx.size
+                log_true = np.full(n, np.log(max(self.prior_true, 1e-12)))
+                log_false = np.full(n, np.log(max(1.0 - self.prior_true, 1e-12)))
+                for claimant, value in claims.items():
+                    u = ctx.index[value]
+                    sens = min(max(sensitivity[claimant], 1e-3), 1 - 1e-3)
+                    spec = min(max(specificity[claimant], 1e-3), 1 - 1e-3)
+                    for v in range(n):
+                        if v == u:
+                            log_true[v] += np.log(sens)
+                            log_false[v] += np.log(1.0 - spec)
+                        else:
+                            log_true[v] += np.log(1.0 - sens)
+                            log_false[v] += np.log(spec)
+                posterior = 1.0 / (1.0 + np.exp(log_false - log_true))
+                delta = max(delta, float(np.max(np.abs(posterior - truth_prob[obj]))))
+                new_probs[obj] = posterior
+            truth_prob = new_probs
+
+            # M-step: sensitivity/specificity from expected truth counts.
+            tp: Dict[Hashable, float] = {c: 0.0 for c in claimants}
+            pos: Dict[Hashable, float] = {c: 0.0 for c in claimants}
+            tn: Dict[Hashable, float] = {c: 0.0 for c in claimants}
+            neg: Dict[Hashable, float] = {c: 0.0 for c in claimants}
+            for obj, claims in claims_cache.items():
+                ctx = dataset.context(obj)
+                probs = truth_prob[obj]
+                total_true = float(probs.sum())
+                total_false = ctx.size - total_true
+                for claimant, value in claims.items():
+                    u = ctx.index[value]
+                    tp[claimant] += float(probs[u])
+                    pos[claimant] += total_true
+                    tn[claimant] += total_false - (1.0 - float(probs[u]))
+                    neg[claimant] += total_false
+            s = self.smoothing
+            sensitivity = {
+                c: (tp[c] + s) / (pos[c] + 2 * s) for c in claimants
+            }
+            specificity = {
+                c: (tn[c] + s) / (neg[c] + 2 * s) for c in claimants
+            }
+            if delta < self.tol:
+                converged = True
+                break
+
+        # Single-truth view: normalised truth probabilities.
+        confidences = {}
+        for obj, probs in truth_prob.items():
+            total = float(probs.sum())
+            confidences[obj] = probs / total if total > 0 else probs
+        result = LtmResult(
+            dataset, confidences, truth_prob, self.threshold, iterations, converged
+        )
+        result.sensitivity = sensitivity  # type: ignore[attr-defined]
+        result.specificity = specificity  # type: ignore[attr-defined]
+        return result
+
+    @staticmethod
+    def _claims_of(dataset: TruthDiscoveryDataset, obj: ObjectId):
+        claims: Dict[Hashable, object] = dict(dataset.records_for(obj))
+        for worker, value in dataset.answers_for(obj).items():
+            claims[("worker", worker)] = value
+        return claims

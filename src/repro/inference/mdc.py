@@ -1,0 +1,121 @@
+"""MDC — reliable Medical Diagnosis from Crowdsourcing (Li et al., WSDM 2017).
+
+MDC targets non-expert crowds: claimants have a reliability and *objects have
+a difficulty*, so a mediocre claimant can still be right on easy questions.
+We implement the GLAD-style core: the probability that claimant ``c`` answers
+object ``o`` correctly is ``sigma(r_c / d_o)`` with reliability ``r_c`` in
+``R`` and difficulty ``d_o > 0``, estimated by coordinate-ascent EM. Wrong
+answers spread uniformly over the remaining candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset
+from .base import InferenceResult, TruthInferenceAlgorithm, initial_confidences
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        return 1.0 / (1.0 + math.exp(-x))
+    e = math.exp(x)
+    return e / (1.0 + e)
+
+
+class Mdc(TruthInferenceAlgorithm):
+    """Reliability + difficulty model for non-expert claims.
+
+    Parameters
+    ----------
+    max_iter / tol:
+        EM stopping rule on confidence change.
+    learning_rate / inner_steps:
+        Gradient-ascent settings for the reliability/difficulty M-step.
+    """
+
+    name = "MDC"
+    supports_workers = True
+
+    def __init__(
+        self,
+        max_iter: int = 30,
+        tol: float = 1e-4,
+        learning_rate: float = 0.2,
+        inner_steps: int = 3,
+    ) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.learning_rate = learning_rate
+        self.inner_steps = inner_steps
+
+    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        mu = initial_confidences(dataset)
+        claims_cache = {obj: self._claims_of(dataset, obj) for obj in dataset.objects}
+        claimants = {c for claims in claims_cache.values() for c in claims}
+        reliability: Dict[Hashable, float] = {c: 1.0 for c in claimants}
+        inv_difficulty: Dict[ObjectId, float] = {obj: 1.0 for obj in dataset.objects}
+
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iter + 1):
+            # E-step: posterior truths under current correctness probabilities.
+            new_mu: Dict[ObjectId, np.ndarray] = {}
+            delta = 0.0
+            for obj, claims in claims_cache.items():
+                ctx = dataset.context(obj)
+                n = ctx.size
+                log_post = np.log(np.maximum(mu[obj], 1e-12))
+                for claimant, value in claims.items():
+                    u = ctx.index[value]
+                    p_correct = _sigmoid(reliability[claimant] * inv_difficulty[obj])
+                    p_correct = min(max(p_correct, 1e-6), 1.0 - 1e-6)
+                    like = np.full(n, (1.0 - p_correct) / max(n - 1, 1))
+                    like[u] = p_correct
+                    log_post += np.log(like)
+                log_post -= log_post.max()
+                posterior = np.exp(log_post)
+                posterior /= posterior.sum()
+                delta = max(delta, float(np.max(np.abs(posterior - mu[obj]))))
+                new_mu[obj] = posterior
+            mu = new_mu
+
+            # M-step: gradient ascent on expected log-likelihood wrt r_c, 1/d_o.
+            for _ in range(self.inner_steps):
+                grad_r: Dict[Hashable, float] = {c: 0.0 for c in claimants}
+                grad_d: Dict[ObjectId, float] = {obj: 0.0 for obj in inv_difficulty}
+                for obj, claims in claims_cache.items():
+                    ctx = dataset.context(obj)
+                    for claimant, value in claims.items():
+                        u = ctx.index[value]
+                        expected_correct = float(mu[obj][u])
+                        p = _sigmoid(reliability[claimant] * inv_difficulty[obj])
+                        # d/dx log-likelihood of a Bernoulli(sigma(x)) observation.
+                        common = expected_correct - p
+                        grad_r[claimant] += common * inv_difficulty[obj]
+                        grad_d[obj] += common * reliability[claimant]
+                for c in claimants:
+                    reliability[c] = float(
+                        np.clip(reliability[c] + self.learning_rate * grad_r[c], -5.0, 5.0)
+                    )
+                for obj in inv_difficulty:
+                    inv_difficulty[obj] = float(
+                        np.clip(inv_difficulty[obj] + self.learning_rate * grad_d[obj], 0.05, 5.0)
+                    )
+            if delta < self.tol:
+                converged = True
+                break
+        result = InferenceResult(dataset, mu, iterations, converged)
+        result.reliability = reliability  # type: ignore[attr-defined]
+        result.inverse_difficulty = inv_difficulty  # type: ignore[attr-defined]
+        return result
+
+    @staticmethod
+    def _claims_of(dataset: TruthDiscoveryDataset, obj: ObjectId):
+        claims: Dict[Hashable, object] = dict(dataset.records_for(obj))
+        for worker, value in dataset.answers_for(obj).items():
+            claims[("worker", worker)] = value
+        return claims

@@ -1,0 +1,37 @@
+"""VOTE — majority voting baseline (paper Section 5.1).
+
+Selects the value with the highest claim frequency; records and worker
+answers count equally. Ties break toward the first-claimed value, which keeps
+the algorithm deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset
+from .base import InferenceResult, TruthInferenceAlgorithm
+
+
+class Vote(TruthInferenceAlgorithm):
+    """Majority vote over records and answers."""
+
+    name = "VOTE"
+    supports_workers = True
+
+    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        confidences: Dict[ObjectId, np.ndarray] = {}
+        for obj in dataset.objects:
+            ctx = dataset.context(obj)
+            counts = np.zeros(ctx.size, dtype=float)
+            for value in dataset.records_for(obj).values():
+                counts[ctx.index[value]] += 1.0
+            for value in dataset.answers_for(obj).values():
+                counts[ctx.index[value]] += 1.0
+            total = counts.sum()
+            confidences[obj] = (
+                counts / total if total > 0 else np.full(ctx.size, 1.0 / ctx.size)
+            )
+        return InferenceResult(dataset, confidences, iterations=1, converged=True)

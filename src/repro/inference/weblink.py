@@ -1,0 +1,261 @@
+"""Web-link-analysis truth discovery: Sums, AverageLog, Investment,
+PooledInvestment (Pasternack & Roth, COLING 2010) and TruthFinder (Yin, Han
+& Yu, TKDE 2008).
+
+These are the classic fixed-point algorithms the paper's related work builds
+on — ASUMS [2] is SUMS adapted to hierarchies, and the survey the paper cites
+([40]) evaluates this whole family. They share one iteration scheme:
+
+    trust(s)  <- combine(beliefs of s's claims)
+    belief(v) <- combine(trusts of v's claimants)
+
+with per-algorithm combine rules and normalisation. All operate on records
+and answers alike (answers count as single-claim sources).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List
+
+import numpy as np
+
+from ..data.model import ObjectId, TruthDiscoveryDataset
+from .base import InferenceResult, TruthInferenceAlgorithm
+
+
+def _claims_of(dataset: TruthDiscoveryDataset, obj: ObjectId) -> Dict[Hashable, object]:
+    claims: Dict[Hashable, object] = dict(dataset.records_for(obj))
+    for worker, value in dataset.answers_for(obj).items():
+        claims[("worker", worker)] = value
+    return claims
+
+
+class _LinkAnalysisBase(TruthInferenceAlgorithm):
+    """Shared fixed-point loop for the link-analysis family."""
+
+    supports_workers = True
+
+    def __init__(self, max_iter: int = 20, tol: float = 1e-6) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+
+    # hooks -------------------------------------------------------------
+    def _trust_update(
+        self, claim_beliefs: List[float]
+    ) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _belief_update(self, claimant_trusts: List[float]) -> float:
+        return float(sum(claimant_trusts))
+
+    # main loop ----------------------------------------------------------
+    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        claims_cache = {obj: _claims_of(dataset, obj) for obj in dataset.objects}
+        claimants = sorted(
+            {c for claims in claims_cache.values() for c in claims}, key=repr
+        )
+        trust: Dict[Hashable, float] = {c: 0.9 for c in claimants}
+        beliefs: Dict[ObjectId, np.ndarray] = {
+            obj: np.full(dataset.context(obj).size, 0.5) for obj in dataset.objects
+        }
+        iterations = 0
+        converged = False
+
+        for iterations in range(1, self.max_iter + 1):
+            # Belief step.
+            new_beliefs: Dict[ObjectId, np.ndarray] = {}
+            for obj, claims in claims_cache.items():
+                ctx = dataset.context(obj)
+                supporters: List[List[float]] = [[] for _ in range(ctx.size)]
+                for claimant, value in claims.items():
+                    supporters[ctx.index[value]].append(trust[claimant])
+                new_beliefs[obj] = np.array(
+                    [self._belief_update(ts) if ts else 0.0 for ts in supporters]
+                )
+            peak = max(
+                (float(vec.max()) for vec in new_beliefs.values()), default=1.0
+            )
+            peak = max(peak, 1e-12)
+            for obj in new_beliefs:
+                new_beliefs[obj] = new_beliefs[obj] / peak
+
+            # Trust step.
+            new_trust: Dict[Hashable, float] = {}
+            for claimant in claimants:
+                claim_beliefs: List[float] = []
+                for obj, claims in claims_cache.items():
+                    if claimant in claims:
+                        ctx = dataset.context(obj)
+                        claim_beliefs.append(
+                            float(new_beliefs[obj][ctx.index[claims[claimant]]])
+                        )
+                new_trust[claimant] = self._trust_update(claim_beliefs)
+            peak_trust = max(new_trust.values(), default=1.0)
+            peak_trust = max(peak_trust, 1e-12)
+            new_trust = {c: t / peak_trust for c, t in new_trust.items()}
+
+            delta = max(
+                float(np.max(np.abs(new_beliefs[obj] - beliefs[obj])))
+                for obj in beliefs
+            ) if beliefs else 0.0
+            beliefs = new_beliefs
+            trust = new_trust
+            if delta < self.tol:
+                converged = True
+                break
+
+        confidences = {}
+        for obj, vec in beliefs.items():
+            total = float(vec.sum())
+            confidences[obj] = (
+                vec / total if total > 0 else np.full(len(vec), 1.0 / len(vec))
+            )
+        result = InferenceResult(dataset, confidences, iterations, converged)
+        result.trust = trust  # type: ignore[attr-defined]
+        return result
+
+
+class Sums(_LinkAnalysisBase):
+    """SUMS / Hubs-and-Authorities: trust = sum of claim beliefs."""
+
+    name = "SUMS"
+
+    def _trust_update(self, claim_beliefs: List[float]) -> float:
+        return float(sum(claim_beliefs))
+
+
+class AverageLog(_LinkAnalysisBase):
+    """AverageLog: average belief scaled by log of the claim count."""
+
+    name = "AVGLOG"
+
+    def _trust_update(self, claim_beliefs: List[float]) -> float:
+        n = len(claim_beliefs)
+        if n == 0:
+            return 0.0
+        return math.log(n + 1.0) * float(np.mean(claim_beliefs))
+
+
+class Investment(_LinkAnalysisBase):
+    """Investment: sources invest trust evenly; claims pay back non-linearly."""
+
+    name = "INVEST"
+
+    def __init__(self, growth: float = 1.2, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.growth = growth
+
+    def _trust_update(self, claim_beliefs: List[float]) -> float:
+        n = len(claim_beliefs)
+        if n == 0:
+            return 0.0
+        return float(sum(b ** self.growth for b in claim_beliefs)) / n
+
+    def _belief_update(self, claimant_trusts: List[float]) -> float:
+        return float(sum(claimant_trusts)) ** self.growth
+
+
+class PooledInvestment(Investment):
+    """PooledInvestment: Investment with per-object belief pooling."""
+
+    name = "POOLED"
+
+    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        result = super().fit(dataset)
+        # Pool: renormalise beliefs within each object (linear pooling).
+        for obj, vec in result.confidences.items():
+            total = float(vec.sum())
+            if total > 0:
+                result.confidences[obj] = vec / total
+        return result
+
+
+class TruthFinder(TruthInferenceAlgorithm):
+    """TruthFinder (Yin et al., TKDE 2008): probabilistic link analysis.
+
+    Source trust is its claims' average confidence; a claim's confidence is
+    ``1 - prod_s (1 - trust(s))`` over its claimants, passed through a
+    dampened sigmoid to keep the fixed point stable. Claims of *similar*
+    values reinforce each other; here similarity is hierarchy adjacency
+    (a claim supports its parent/children candidates with weight ``rho``).
+    """
+
+    name = "TRUTHFINDER"
+    supports_workers = True
+
+    def __init__(
+        self,
+        max_iter: int = 20,
+        tol: float = 1e-6,
+        dampening: float = 0.3,
+        rho: float = 0.5,
+    ) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.dampening = dampening
+        self.rho = rho
+
+    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        claims_cache = {obj: _claims_of(dataset, obj) for obj in dataset.objects}
+        claimants = sorted(
+            {c for claims in claims_cache.values() for c in claims}, key=repr
+        )
+        trust: Dict[Hashable, float] = {c: 0.9 for c in claimants}
+        confidences: Dict[ObjectId, np.ndarray] = {
+            obj: np.full(dataset.context(obj).size, 0.5) for obj in dataset.objects
+        }
+        iterations = 0
+        converged = False
+
+        for iterations in range(1, self.max_iter + 1):
+            new_conf: Dict[ObjectId, np.ndarray] = {}
+            for obj, claims in claims_cache.items():
+                ctx = dataset.context(obj)
+                raw = np.zeros(ctx.size)
+                for v in range(ctx.size):
+                    others = [
+                        1.0 - min(trust[c], 1.0 - 1e-9)
+                        for c, value in claims.items()
+                        if ctx.index[value] == v
+                    ]
+                    if others:
+                        raw[v] = 1.0 - float(np.prod(others))
+                # Hierarchy-similarity adjustment: ancestors of a believed
+                # value gain implied support.
+                adjusted = raw.copy()
+                for v in range(ctx.size):
+                    for ancestor_pos in ctx.ancestor_sets[v]:
+                        adjusted[ancestor_pos] += self.rho * raw[v]
+                # Dampened squash into (0, 1).
+                squashed = 1.0 / (1.0 + np.exp(-self.dampening * adjusted * 6 + 3))
+                new_conf[obj] = squashed
+            new_trust = {}
+            for claimant in claimants:
+                scores: List[float] = []
+                for obj, claims in claims_cache.items():
+                    if claimant in claims:
+                        ctx = dataset.context(obj)
+                        scores.append(
+                            float(new_conf[obj][ctx.index[claims[claimant]]])
+                        )
+                new_trust[claimant] = float(np.mean(scores)) if scores else 0.5
+            delta = max(
+                float(np.max(np.abs(new_conf[obj] - confidences[obj])))
+                for obj in confidences
+            ) if confidences else 0.0
+            confidences = new_conf
+            trust = new_trust
+            if delta < self.tol:
+                converged = True
+                break
+
+        normalised = {}
+        for obj, vec in confidences.items():
+            total = float(vec.sum())
+            normalised[obj] = (
+                vec / total if total > 0 else np.full(len(vec), 1.0 / len(vec))
+            )
+        result = InferenceResult(dataset, normalised, iterations, converged)
+        result.trust = trust  # type: ignore[attr-defined]
+        return result

@@ -1,0 +1,35 @@
+"""I/O: CSV and JSON (de)serialisation in the paper's published format."""
+
+from .formats import (
+    FormatError,
+    dataset_from_json,
+    dataset_to_json,
+    load_dataset_csv,
+    load_dataset_file,
+    read_answers_csv,
+    read_gold_csv,
+    read_hierarchy_csv,
+    read_records_csv,
+    save_dataset,
+    write_answers_csv,
+    write_hierarchy_csv,
+    write_records_csv,
+    write_truths_csv,
+)
+
+__all__ = [
+    "FormatError",
+    "read_records_csv",
+    "read_answers_csv",
+    "read_gold_csv",
+    "read_hierarchy_csv",
+    "write_records_csv",
+    "write_answers_csv",
+    "write_hierarchy_csv",
+    "write_truths_csv",
+    "dataset_to_json",
+    "dataset_from_json",
+    "save_dataset",
+    "load_dataset_file",
+    "load_dataset_csv",
+]

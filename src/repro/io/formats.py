@@ -1,0 +1,275 @@
+"""Dataset and hierarchy (de)serialisation.
+
+The paper's published datasets (kdd.snu.ac.kr/home/datasets/tdh.php) ship as
+flat claim triples plus a hierarchy file. This module reads and writes that
+shape so users who obtain the original crawls — or export their own — can run
+the library on them directly:
+
+* **records CSV** — header ``object,source,value``; one claim per row;
+* **answers CSV** — header ``object,worker,value``;
+* **gold CSV** — header ``object,value``;
+* **hierarchy CSV** — header ``child,parent``; the root may be named
+  explicitly or inferred (a parent that never appears as a child);
+* **JSON bundle** — a single self-contained document with all of the above.
+
+All functions accept paths or open file objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..data.model import Answer, Record, TruthDiscoveryDataset
+from ..hierarchy.builders import from_child_parent_edges
+from ..hierarchy.tree import Hierarchy, ROOT
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+class FormatError(ValueError):
+    """Raised for malformed input files."""
+
+
+def _open_read(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "r", encoding="utf-8", newline="")
+    return _NonClosing(target)
+
+
+def _open_write(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8", newline="")
+    return _NonClosing(target)
+
+
+class _NonClosing:
+    """Context manager that leaves caller-owned file objects open."""
+
+    def __init__(self, handle: IO[str]) -> None:
+        self._handle = handle
+
+    def __enter__(self) -> IO[str]:
+        return self._handle
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+def _check_header(row: List[str], expected: Tuple[str, ...], kind: str) -> None:
+    normalized = tuple(cell.strip().lower() for cell in row)
+    if normalized != expected:
+        raise FormatError(
+            f"{kind} file must start with header {','.join(expected)!r};"
+            f" got {','.join(row)!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CSV readers
+# ---------------------------------------------------------------------------
+def read_records_csv(target: PathOrFile) -> List[Record]:
+    """Read claim triples from an ``object,source,value`` CSV."""
+    out: List[Record] = []
+    with _open_read(target) as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise FormatError("records file is empty")
+        _check_header(header, ("object", "source", "value"), "records")
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise FormatError(f"records line {line_no}: expected 3 columns")
+            out.append(Record(row[0], row[1], row[2]))
+    return out
+
+
+def read_answers_csv(target: PathOrFile) -> List[Answer]:
+    """Read worker answers from an ``object,worker,value`` CSV."""
+    out: List[Answer] = []
+    with _open_read(target) as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise FormatError("answers file is empty")
+        _check_header(header, ("object", "worker", "value"), "answers")
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise FormatError(f"answers line {line_no}: expected 3 columns")
+            out.append(Answer(row[0], row[1], row[2]))
+    return out
+
+
+def read_gold_csv(target: PathOrFile) -> Dict[str, str]:
+    """Read the gold standard from an ``object,value`` CSV."""
+    out: Dict[str, str] = {}
+    with _open_read(target) as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise FormatError("gold file is empty")
+        _check_header(header, ("object", "value"), "gold")
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise FormatError(f"gold line {line_no}: expected 2 columns")
+            out[row[0]] = row[1]
+    return out
+
+
+def read_hierarchy_csv(target: PathOrFile, root: Optional[str] = None) -> Hierarchy:
+    """Read a ``child,parent`` edge list into a :class:`Hierarchy`.
+
+    If ``root`` is not given, it is inferred: the unique parent that never
+    appears as a child. Multiple root candidates raise :class:`FormatError`.
+    """
+    edges: List[Tuple[str, str]] = []
+    with _open_read(target) as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise FormatError("hierarchy file is empty")
+        _check_header(header, ("child", "parent"), "hierarchy")
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise FormatError(f"hierarchy line {line_no}: expected 2 columns")
+            edges.append((row[0], row[1]))
+    if not edges:
+        raise FormatError("hierarchy file has no edges")
+
+    if root is None:
+        children = {child for child, _ in edges}
+        parents = {parent for _, parent in edges}
+        candidates = parents - children
+        if len(candidates) != 1:
+            raise FormatError(
+                f"cannot infer the root: candidates {sorted(candidates)};"
+                " pass root= explicitly"
+            )
+        root = candidates.pop()
+    return from_child_parent_edges(edges, root=root)
+
+
+# ---------------------------------------------------------------------------
+# CSV writers
+# ---------------------------------------------------------------------------
+def write_records_csv(dataset: TruthDiscoveryDataset, target: PathOrFile) -> None:
+    """Write the dataset's records as an ``object,source,value`` CSV."""
+    with _open_write(target) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("object", "source", "value"))
+        for record in dataset.iter_records():
+            writer.writerow((record.object, record.source, record.value))
+
+
+def write_answers_csv(dataset: TruthDiscoveryDataset, target: PathOrFile) -> None:
+    """Write the dataset's answers as an ``object,worker,value`` CSV."""
+    with _open_write(target) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("object", "worker", "value"))
+        for answer in dataset.iter_answers():
+            writer.writerow((answer.object, answer.worker, answer.value))
+
+
+def write_hierarchy_csv(hierarchy: Hierarchy, target: PathOrFile) -> None:
+    """Write the hierarchy as a ``child,parent`` edge list."""
+    with _open_write(target) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("child", "parent"))
+        for node in hierarchy.non_root_nodes():
+            writer.writerow((node, hierarchy.parent(node)))
+
+
+def write_truths_csv(truths: Dict, target: PathOrFile) -> None:
+    """Write inferred truths as an ``object,value`` CSV."""
+    with _open_write(target) as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("object", "value"))
+        for obj, value in truths.items():
+            writer.writerow((obj, value))
+
+
+# ---------------------------------------------------------------------------
+# JSON bundle
+# ---------------------------------------------------------------------------
+def dataset_to_json(dataset: TruthDiscoveryDataset) -> str:
+    """Serialise a dataset (hierarchy + records + answers + gold) to JSON."""
+    hierarchy = dataset.hierarchy
+    payload = {
+        "name": dataset.name,
+        "root": hierarchy.root,
+        "edges": [
+            [node, hierarchy.parent(node)] for node in hierarchy.non_root_nodes()
+        ],
+        "records": [
+            [r.object, r.source, r.value] for r in dataset.iter_records()
+        ],
+        "answers": [
+            [a.object, a.worker, a.value] for a in dataset.iter_answers()
+        ],
+        "gold": {str(k): v for k, v in dataset.gold.items()},
+    }
+    return json.dumps(payload)
+
+
+def dataset_from_json(document: str) -> TruthDiscoveryDataset:
+    """Rebuild a dataset from :func:`dataset_to_json` output."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"invalid JSON: {exc}") from exc
+    for key in ("root", "edges", "records"):
+        if key not in payload:
+            raise FormatError(f"JSON bundle missing {key!r}")
+    hierarchy = from_child_parent_edges(
+        [tuple(edge) for edge in payload["edges"]], root=payload["root"]
+    )
+    dataset = TruthDiscoveryDataset(
+        hierarchy,
+        (Record(*row) for row in payload["records"]),
+        gold=payload.get("gold", {}),
+        name=payload.get("name", ""),
+    )
+    for row in payload.get("answers", ()):
+        dataset.add_answer(Answer(*row))
+    return dataset
+
+
+def save_dataset(dataset: TruthDiscoveryDataset, path: Union[str, Path]) -> None:
+    """Write a dataset to a ``.json`` bundle on disk."""
+    Path(path).write_text(dataset_to_json(dataset), encoding="utf-8")
+
+
+def load_dataset_file(path: Union[str, Path]) -> TruthDiscoveryDataset:
+    """Read a dataset from a ``.json`` bundle on disk."""
+    return dataset_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def load_dataset_csv(
+    records: PathOrFile,
+    hierarchy: PathOrFile,
+    answers: Optional[PathOrFile] = None,
+    gold: Optional[PathOrFile] = None,
+    root: Optional[str] = None,
+    name: str = "",
+) -> TruthDiscoveryDataset:
+    """Assemble a dataset from the paper-format CSV files."""
+    tree = read_hierarchy_csv(hierarchy, root=root)
+    dataset = TruthDiscoveryDataset(
+        tree, read_records_csv(records), name=name,
+        gold=read_gold_csv(gold) if gold is not None else None,
+    )
+    if answers is not None:
+        for answer in read_answers_csv(answers):
+            dataset.add_answer(answer)
+    return dataset

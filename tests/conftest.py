@@ -1,0 +1,60 @@
+"""Shared fixtures: small seeded datasets and the paper's Table-1 example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hierarchy, Record, TruthDiscoveryDataset
+from repro.datasets import make_birthplaces, make_heritages
+
+
+@pytest.fixture(scope="session")
+def table1_dataset() -> TruthDiscoveryDataset:
+    """The paper's introductory example (Table 1) plus enough extra claims
+    for reliability estimation."""
+    hierarchy = Hierarchy()
+    hierarchy.add_path(["USA", "NY", "Liberty Island"])
+    hierarchy.add_path(["USA", "LA"])
+    hierarchy.add_path(["UK", "London", "Westminster"])
+    hierarchy.add_path(["UK", "Manchester"])
+    records = [
+        Record("Statue of Liberty", "UNESCO", "NY"),
+        Record("Statue of Liberty", "Wikipedia", "Liberty Island"),
+        Record("Statue of Liberty", "Arrangy", "LA"),
+        Record("Big Ben", "Quora", "Manchester"),
+        Record("Big Ben", "tripadvisor", "London"),
+        Record("Big Ben", "Wikipedia", "Westminster"),
+        Record("Big Ben", "UNESCO", "London"),
+        Record("Niagara Falls", "UNESCO", "NY"),
+        Record("Niagara Falls", "Wikipedia", "NY"),
+        Record("Niagara Falls", "Arrangy", "LA"),
+    ]
+    gold = {
+        "Statue of Liberty": "Liberty Island",
+        "Big Ben": "Westminster",
+        "Niagara Falls": "NY",
+    }
+    return TruthDiscoveryDataset(hierarchy, records, gold=gold, name="table1")
+
+
+@pytest.fixture(scope="session")
+def small_birthplaces() -> TruthDiscoveryDataset:
+    """A 300-object synthetic BirthPlaces instance shared across tests."""
+    return make_birthplaces(size=300, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_heritages() -> TruthDiscoveryDataset:
+    """A 150-object synthetic Heritages instance shared across tests."""
+    return make_heritages(size=150, n_sources=200, seed=11)
+
+
+@pytest.fixture()
+def geo_hierarchy() -> Hierarchy:
+    """A small hand-built geographic hierarchy."""
+    hierarchy = Hierarchy()
+    hierarchy.add_path(["USA", "California", "LA", "Hollywood"])
+    hierarchy.add_path(["USA", "California", "SF"])
+    hierarchy.add_path(["USA", "NY", "NYC"])
+    hierarchy.add_path(["France", "Paris"])
+    return hierarchy

@@ -1,0 +1,164 @@
+"""Deeper behavioural tests: each algorithm's distinguishing mechanism."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accu,
+    Docs,
+    GuessLca,
+    Hierarchy,
+    Mdc,
+    Record,
+    TDHModel,
+    TruthDiscoveryDataset,
+)
+
+
+def flat_hierarchy(*values):
+    h = Hierarchy()
+    for v in values:
+        h.add_edge(v, h.root)
+    return h
+
+
+class TestAccuMechanism:
+    def test_n_false_values_controls_vote_strength(self):
+        """Larger assumed false-value count -> stronger votes -> sharper
+        confidences for the same accuracy."""
+        h = flat_hierarchy("A", "B")
+        records = []
+        for i in range(10):
+            records.append(Record(f"o{i}", "s1", "A"))
+            records.append(Record(f"o{i}", "s2", "A"))
+            records.append(Record(f"o{i}", "s3", "B"))
+        ds = TruthDiscoveryDataset(h, records)
+        soft = Accu(max_iter=5, n_false_values=1, detect_dependence=False).fit(ds)
+        sharp = Accu(max_iter=5, n_false_values=100, detect_dependence=False).fit(ds)
+        soft_conf = soft.confidence("o0")["A"]
+        sharp_conf = sharp.confidence("o0")["A"]
+        assert sharp_conf > soft_conf
+
+    def test_accuracy_clamped(self, small_birthplaces):
+        result = Accu(max_iter=8).fit(small_birthplaces)
+        assert all(0.01 <= a <= 0.99 for a in result.source_accuracy.values())
+
+
+class TestDocsMechanism:
+    def test_per_domain_quality_separation(self):
+        """A source accurate in one domain and wrong in another must get
+        different per-domain accuracies — DOCS's core claim."""
+        h = Hierarchy()
+        h.add_path(["USA", "NY"])
+        h.add_path(["USA", "LA"])
+        h.add_path(["UK", "London"])
+        h.add_path(["UK", "Leeds"])
+        records = []
+        for i in range(12):
+            # Domain USA: 'mixed' agrees with two reliable sources.
+            records.append(Record(f"us{i}", "r1", "NY"))
+            records.append(Record(f"us{i}", "r2", "NY"))
+            records.append(Record(f"us{i}", "mixed", "NY"))
+            # Domain UK: 'mixed' contradicts them.
+            records.append(Record(f"uk{i}", "r1", "London"))
+            records.append(Record(f"uk{i}", "r2", "London"))
+            records.append(Record(f"uk{i}", "mixed", "Leeds"))
+        ds = TruthDiscoveryDataset(h, records)
+        result = Docs(max_iter=15).fit(ds)
+        accuracy = result.domain_accuracy
+        usa = accuracy[("mixed", "USA")]
+        uk = accuracy[("mixed", "UK")]
+        assert usa > uk + 0.2
+
+    def test_domain_uses_majority_candidate(self):
+        h = Hierarchy()
+        h.add_path(["USA", "NY"])
+        h.add_path(["UK", "London"])
+        ds = TruthDiscoveryDataset(
+            h,
+            [
+                Record("o", "s1", "London"),
+                Record("o", "s2", "London"),
+                Record("o", "s3", "NY"),
+            ],
+        )
+        assert Docs().object_domain(ds, "o") == "UK"
+
+
+class TestMdcMechanism:
+    def test_difficulty_higher_for_contested_objects(self):
+        """Objects where reliable claimants disagree should come out harder
+        (lower inverse difficulty) than unanimous ones."""
+        h = flat_hierarchy("A", "B", "C")
+        records = []
+        for i in range(10):  # easy: unanimous
+            for s in range(4):
+                records.append(Record(f"easy{i}", f"s{s}", "A"))
+        for i in range(10):  # hard: 2-2 split
+            records.append(Record(f"hard{i}", "s0", "B"))
+            records.append(Record(f"hard{i}", "s1", "B"))
+            records.append(Record(f"hard{i}", "s2", "C"))
+            records.append(Record(f"hard{i}", "s3", "C"))
+        ds = TruthDiscoveryDataset(h, records)
+        result = Mdc(max_iter=15).fit(ds)
+        easy = np.mean([result.inverse_difficulty[f"easy{i}"] for i in range(10)])
+        hard = np.mean([result.inverse_difficulty[f"hard{i}"] for i in range(10)])
+        assert easy > hard
+
+
+class TestLcaMechanism:
+    def test_guess_distribution_shapes_wrong_answers(self):
+        """GuessLCA spreads dishonest mass by popularity: a claim for a
+        popular value is weaker evidence than one for a rare value."""
+        h = flat_hierarchy("popular", "rare", "other")
+        records = []
+        # Background popularity: 'popular' claimed widely on other objects.
+        for i in range(20):
+            records.append(Record(f"bg{i}", "s1", "popular"))
+            records.append(Record(f"bg{i}", "s2", "popular"))
+        # Target object: one claim each for popular and rare.
+        records.append(Record("target", "s3", "popular"))
+        records.append(Record("target", "s4", "rare"))
+        ds = TruthDiscoveryDataset(h, records)
+        result = GuessLca(max_iter=15).fit(ds)
+        confidence = result.confidence("target")
+        # Both sources look equally honest; the guess distribution penalises
+        # the popular value (easier to guess), so 'rare' should not lose badly.
+        assert confidence["rare"] >= confidence["popular"] * 0.5
+
+
+class TestTdhMechanism:
+    def test_alpha_skew_shifts_phi_estimates(self, small_birthplaces):
+        """A prior favouring case 3 should raise the estimated wrong-claim
+        probability for every source."""
+        neutral = TDHModel(alpha=(3, 3, 2), max_iter=15, tol=1e-4).fit(
+            small_birthplaces
+        )
+        cynical = TDHModel(alpha=(2, 2, 6), max_iter=15, tol=1e-4).fit(
+            small_birthplaces
+        )
+        neutral_wrong = np.mean(
+            [neutral.source_trustworthiness(s)[2] for s in small_birthplaces.sources]
+        )
+        cynical_wrong = np.mean(
+            [cynical.source_trustworthiness(s)[2] for s in small_birthplaces.sources]
+        )
+        assert cynical_wrong > neutral_wrong
+
+    def test_popularity_concentrates_worker_wrong_mass(self):
+        """With Pop3, a worker echoing the popular wrong value is explained by
+        case 3 more cheaply than an off-distribution wrong value."""
+        from repro.inference._structures import build_structure
+
+        h = flat_hierarchy("truth", "popular_wrong", "rare_wrong")
+        records = [Record("o", f"s{i}", "popular_wrong") for i in range(8)]
+        records += [Record("o", f"t{i}", "truth") for i in range(2)]
+        records.append(Record("o", "u0", "rare_wrong"))
+        ds = TruthDiscoveryDataset(h, records)
+        structure = build_structure(ds, "o")
+        psi = np.array([0.6, 0.2, 0.2])
+        L = structure.worker_likelihood(psi)
+        truth_col = structure.index["truth"]
+        pop = structure.index["popular_wrong"]
+        rare = structure.index["rare_wrong"]
+        assert L[pop, truth_col] > L[rare, truth_col]

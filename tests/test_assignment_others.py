@@ -1,0 +1,132 @@
+"""Tests for the QASCA, ME and MB task-assignment baselines."""
+
+import pytest
+
+from repro import (
+    Answer,
+    Docs,
+    MaxEntropyAssigner,
+    MbAssigner,
+    QascaAssigner,
+    TDHModel,
+    Vote,
+    make_birthplaces,
+)
+from repro.assignment.base import worker_accuracy
+from repro.assignment.entropy import confidence_entropy
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_birthplaces(size=120, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tdh_result(dataset):
+    return TDHModel(max_iter=20, tol=1e-4).fit(dataset)
+
+
+ASSIGNERS = [
+    lambda: QascaAssigner(seed=0),
+    lambda: MaxEntropyAssigner(),
+    lambda: MbAssigner(),
+]
+
+
+@pytest.fixture(params=ASSIGNERS, ids=["QASCA", "ME", "MB"])
+def any_assigner(request):
+    return request.param()
+
+
+class TestCommonContract:
+    def test_respects_k(self, any_assigner, dataset, tdh_result):
+        assignment = any_assigner.assign(dataset, tdh_result, ["w0", "w1"], 3)
+        assert all(len(tasks) <= 3 for tasks in assignment.values())
+
+    def test_no_duplicates_across_workers(self, any_assigner, dataset, tdh_result):
+        assignment = any_assigner.assign(dataset, tdh_result, ["w0", "w1", "w2"], 4)
+        flat = [obj for tasks in assignment.values() for obj in tasks]
+        assert len(flat) == len(set(flat))
+
+    def test_only_known_objects(self, any_assigner, dataset, tdh_result):
+        assignment = any_assigner.assign(dataset, tdh_result, ["w0"], 5)
+        assert set(assignment["w0"]) <= set(dataset.objects)
+
+    def test_skips_answered_objects(self, any_assigner, dataset, tdh_result):
+        ds = dataset.copy()
+        first = any_assigner.assign(ds, tdh_result, ["w0"], 3)
+        for obj in first["w0"]:
+            ds.add_answer(Answer(obj, "w0", ds.candidates(obj)[0]))
+        second = any_assigner.assign(ds, tdh_result, ["w0"], 3)
+        assert not set(first["w0"]) & set(second["w0"])
+
+    def test_works_with_non_probabilistic_result(self, any_assigner, dataset):
+        vote_result = Vote().fit(dataset)
+        assignment = any_assigner.assign(dataset, vote_result, ["w0"], 3)
+        assert len(assignment["w0"]) == 3
+
+
+class TestEntropy:
+    def test_uniform_has_max_entropy(self):
+        assert confidence_entropy(np.array([0.5, 0.5])) == pytest.approx(np.log(2))
+
+    def test_point_mass_has_zero_entropy(self):
+        assert confidence_entropy(np.array([1.0, 0.0])) == 0.0
+
+    def test_unnormalised_input_ok(self):
+        assert confidence_entropy(np.array([2.0, 2.0])) == pytest.approx(np.log(2))
+
+    def test_zero_vector(self):
+        assert confidence_entropy(np.zeros(3)) == 0.0
+
+    def test_me_picks_most_uncertain(self, dataset, tdh_result):
+        assignment = MaxEntropyAssigner().assign(dataset, tdh_result, ["w0"], 1)
+        chosen = assignment["w0"][0]
+        chosen_entropy = confidence_entropy(tdh_result.confidences[chosen])
+        max_entropy = max(
+            confidence_entropy(vec) for vec in tdh_result.confidences.values()
+        )
+        assert chosen_entropy == pytest.approx(max_entropy)
+
+
+class TestQasca:
+    def test_improvement_zero_for_single_candidate(self, dataset, tdh_result):
+        single = [o for o in dataset.objects if len(dataset.candidates(o)) == 1]
+        if not single:
+            pytest.skip("no single-candidate object in this instance")
+        q = QascaAssigner(seed=0)
+        assert q.improvement(dataset, tdh_result, single[0], "w0") == 0.0
+
+    def test_seed_reproducible(self, dataset, tdh_result):
+        a1 = QascaAssigner(seed=42).assign(dataset, tdh_result, ["w0"], 5)
+        a2 = QascaAssigner(seed=42).assign(dataset, tdh_result, ["w0"], 5)
+        assert a1 == a2
+
+
+class TestMb:
+    def test_entropy_reduction_nonnegative(self, dataset, tdh_result):
+        mb = MbAssigner()
+        for obj in dataset.objects[:20]:
+            assert mb.expected_entropy_reduction(tdh_result, obj, "w0") >= -1e-9
+
+    def test_uses_domain_quality_with_docs(self, dataset):
+        docs_result = Docs(max_iter=10).fit(dataset)
+        mb = MbAssigner()
+        assignment = mb.assign(dataset, docs_result, ["w0"], 3)
+        assert len(assignment["w0"]) == 3
+
+
+class TestWorkerAccuracyDispatch:
+    def test_tdh_psi_used(self, dataset, tdh_result):
+        # Unseen worker -> falls back to default.
+        assert worker_accuracy(tdh_result, "ghost", default=0.42) == 0.42
+
+    def test_honesty_used_for_lca(self, dataset):
+        from repro import GuessLca
+
+        result = GuessLca(max_iter=5).fit(dataset)
+        # Sources' honesty is keyed directly; workers via ("worker", w).
+        accuracy = worker_accuracy(result, "nonexistent", default=0.33)
+        assert accuracy == 0.33

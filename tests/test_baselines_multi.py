@@ -1,0 +1,92 @@
+"""Tests for the multi-truth algorithms (LTM, DART, LFC-MT; Table 5)."""
+
+import numpy as np
+import pytest
+
+from repro import Dart, Hierarchy, LfcMT, Ltm, Record, TruthDiscoveryDataset
+
+
+@pytest.fixture(params=[lambda: Ltm(max_iter=10), lambda: Dart(max_iter=10),
+                        lambda: LfcMT(max_iter=10)],
+                ids=["LTM", "DART", "LFC-MT"])
+def multi_algo(request):
+    return request.param()
+
+
+class TestCommonContract:
+    def test_truth_sets_cover_all_objects(self, multi_algo, table1_dataset):
+        result = multi_algo.fit(table1_dataset)
+        assert set(result.truth_sets()) == set(table1_dataset.objects)
+
+    def test_truth_sets_nonempty_and_candidates_only(self, multi_algo, table1_dataset):
+        result = multi_algo.fit(table1_dataset)
+        for obj, values in result.truth_sets().items():
+            assert values
+            assert values <= set(table1_dataset.candidates(obj))
+
+    def test_confidences_finite(self, multi_algo, table1_dataset):
+        result = multi_algo.fit(table1_dataset)
+        for vec in result.confidences.values():
+            assert np.all(np.isfinite(vec))
+
+    def test_runs_on_synthetic_data(self, multi_algo, small_heritages):
+        result = multi_algo.fit(small_heritages)
+        assert len(result.truth_sets()) == len(small_heritages.objects)
+
+
+class TestLtm:
+    def test_unanimous_value_is_true(self):
+        h = Hierarchy()
+        for v in ("A", "B"):
+            h.add_edge(v, h.root)
+        records = [Record(f"o{i}", f"s{j}", "A") for i in range(10) for j in range(4)]
+        records += [Record("contested", "s0", "A"), Record("contested", "s1", "B")]
+        ds = TruthDiscoveryDataset(h, records)
+        result = Ltm(max_iter=15).fit(ds)
+        for i in range(10):
+            assert "A" in result.truth_sets()[f"o{i}"]
+
+    def test_sensitivity_specificity_in_unit_interval(self, small_heritages):
+        result = Ltm(max_iter=8).fit(small_heritages)
+        assert all(0 < s < 1 for s in result.sensitivity.values())
+        assert all(0 < s < 1 for s in result.specificity.values())
+
+    def test_threshold_controls_set_size(self, table1_dataset):
+        loose = Ltm(max_iter=10, threshold=0.1).fit(table1_dataset)
+        strict = Ltm(max_iter=10, threshold=0.9).fit(table1_dataset)
+        loose_total = sum(len(v) for v in loose.truth_sets().values())
+        strict_total = sum(len(v) for v in strict.truth_sets().values())
+        assert loose_total >= strict_total
+
+
+class TestDart:
+    def test_recall_heavy_vs_ltm(self, small_heritages):
+        """DART should emit at least as many values as LTM (Table 5 shape)."""
+        dart_sets = Dart(max_iter=10).fit(small_heritages).truth_sets()
+        ltm_sets = Ltm(max_iter=10).fit(small_heritages).truth_sets()
+        dart_total = sum(len(v) for v in dart_sets.values())
+        ltm_total = sum(len(v) for v in ltm_sets.values())
+        assert dart_total >= ltm_total
+
+    def test_ancestor_not_penalised(self, table1_dataset):
+        """Claiming 'Liberty Island' must not count against 'NY' being true."""
+        result = Dart(max_iter=15).fit(table1_dataset)
+        sets = result.truth_sets()["Statue of Liberty"]
+        assert "NY" in sets or "Liberty Island" in sets
+
+
+class TestLfcMT:
+    def test_sets_are_ancestor_closed_within_candidates(self, table1_dataset):
+        result = LfcMT(max_iter=10).fit(table1_dataset)
+        hierarchy = table1_dataset.hierarchy
+        for obj, values in result.truth_sets().items():
+            candidates = set(table1_dataset.candidates(obj))
+            for value in values:
+                for ancestor in hierarchy.ancestors(value):
+                    if ancestor in candidates:
+                        assert ancestor in values
+
+    def test_includes_argmax(self, table1_dataset):
+        result = LfcMT(max_iter=10, threshold=0.99).fit(table1_dataset)
+        for obj, values in result.truth_sets().items():
+            assert result.truth(obj) in values

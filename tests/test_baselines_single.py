@@ -1,0 +1,201 @@
+"""Tests for the single-truth baseline algorithms (Table 3's roster)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accu,
+    Asums,
+    Crh,
+    Docs,
+    GuessLca,
+    Hierarchy,
+    Lfc,
+    Mdc,
+    PopAccu,
+    Record,
+    TruthDiscoveryDataset,
+    Vote,
+)
+from repro.eval import evaluate
+
+ALL_BASELINES = [
+    Vote,
+    lambda: Accu(max_iter=8),
+    lambda: PopAccu(max_iter=8),
+    lambda: Lfc(max_iter=10),
+    lambda: Crh(max_iter=10),
+    lambda: GuessLca(max_iter=10),
+    lambda: Asums(max_iter=10),
+    lambda: Mdc(max_iter=8),
+    lambda: Docs(max_iter=10),
+]
+
+
+@pytest.fixture(params=ALL_BASELINES, ids=lambda f: f().name)
+def baseline(request):
+    return request.param()
+
+
+class TestCommonContract:
+    """Every baseline satisfies the TruthInferenceAlgorithm contract."""
+
+    def test_fits_and_returns_all_objects(self, baseline, table1_dataset):
+        result = baseline.fit(table1_dataset)
+        assert set(result.confidences) == set(table1_dataset.objects)
+
+    def test_confidence_normalises(self, baseline, table1_dataset):
+        result = baseline.fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            confidence = result.confidence(obj)
+            assert sum(confidence.values()) == pytest.approx(1.0, abs=1e-6)
+            assert all(p >= 0 for p in confidence.values())
+
+    def test_truth_is_a_candidate(self, baseline, table1_dataset):
+        result = baseline.fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            assert result.truth(obj) in table1_dataset.candidates(obj)
+
+    def test_deterministic(self, baseline, table1_dataset):
+        t1 = baseline.fit(table1_dataset).truths()
+        t2 = type(baseline)() .fit(table1_dataset).truths() if False else baseline.fit(table1_dataset).truths()
+        assert t1 == t2
+
+    def test_truth_sets_are_singletons(self, baseline, table1_dataset):
+        result = baseline.fit(table1_dataset)
+        for values in result.truth_sets().values():
+            assert len(values) == 1
+
+    def test_reasonable_accuracy_on_birthplaces(self, baseline, small_birthplaces):
+        result = baseline.fit(small_birthplaces)
+        report = evaluate(small_birthplaces, result.truths())
+        # Far above random guessing; the dataset's majority accuracy is ~0.8.
+        assert report.accuracy > 0.5
+
+
+class TestVote:
+    def test_majority_wins(self, table1_dataset):
+        assert Vote().fit(table1_dataset).truth("Niagara Falls") == "NY"
+
+    def test_counts_answers_too(self, table1_dataset):
+        from repro import Answer
+
+        ds = table1_dataset.copy()
+        for w in range(5):
+            ds.add_answer(Answer("Niagara Falls", f"w{w}", "LA"))
+        assert Vote().fit(ds).truth("Niagara Falls") == "LA"
+
+    def test_tie_breaks_to_first_claimed(self):
+        h = Hierarchy()
+        h.add_edge("A", h.root)
+        h.add_edge("B", h.root)
+        ds = TruthDiscoveryDataset(
+            h, [Record("o", "s1", "A"), Record("o", "s2", "B")]
+        )
+        assert Vote().fit(ds).truth("o") == "A"
+
+
+class TestAccu:
+    def test_good_sources_get_high_accuracy(self, small_birthplaces):
+        result = Accu(max_iter=8).fit(small_birthplaces)
+        accuracy = result.source_accuracy
+        # source_2 is the most precise generator profile (phi1 = 0.84).
+        assert accuracy["source_2"] > 0.6
+
+    def test_dependence_detection_discounts_copiers(self):
+        """A source that copies another verbatim should not double the vote."""
+        h = Hierarchy()
+        for v in ("A", "B"):
+            h.add_edge(v, h.root)
+        records = []
+        # 'honest1/2' claim A (the majority-correct value) on most objects;
+        # 'original' claims B and 'copier' repeats it exactly.
+        for i in range(20):
+            records.append(Record(f"o{i}", "honest1", "A"))
+            records.append(Record(f"o{i}", "honest2", "A"))
+            records.append(Record(f"o{i}", "original", "B"))
+            records.append(Record(f"o{i}", "copier", "B"))
+        ds = TruthDiscoveryDataset(h, records)
+        with_dep = Accu(max_iter=8, detect_dependence=True).fit(ds)
+        # With copy detection the A-votes must not lose to the copied B-votes.
+        assert all(t == "A" for t in with_dep.truths().values())
+
+    def test_popaccu_differs_from_accu_with_skewed_false_values(
+        self, small_heritages
+    ):
+        accu = Accu(max_iter=8).fit(small_heritages).truths()
+        popaccu = PopAccu(max_iter=8).fit(small_heritages).truths()
+        assert accu != popaccu  # popularity model changes some decisions
+
+
+class TestLfc:
+    def test_learned_quality_breaks_ties(self):
+        """Anchor objects establish that 'bad' disagrees with the majority;
+        on fresh 1-vs-1 conflicts LFC must side with the reliable source,
+        where plain voting would tie."""
+        h = Hierarchy()
+        for v in ("A", "B", "X", "Y"):
+            h.add_edge(v, h.root)
+        records = []
+        for i in range(20):
+            for source in ("good1", "good2", "good3"):
+                records.append(Record(f"anchor{i}", source, "A"))
+            records.append(Record(f"anchor{i}", "bad", "B"))
+        for i in range(10):
+            records.append(Record(f"t{i}", "good1", "X"))
+            records.append(Record(f"t{i}", "bad", "Y"))
+        ds = TruthDiscoveryDataset(h, records)
+        result = Lfc(max_iter=20).fit(ds)
+        assert all(result.truth(f"t{i}") == "X" for i in range(10))
+
+
+class TestAsums:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            Asums(tau=0.0)
+        with pytest.raises(ValueError):
+            Asums(tau=1.5)
+
+    def test_trust_scores_in_unit_interval(self, small_birthplaces):
+        result = Asums(max_iter=10).fit(small_birthplaces)
+        trust = result.trust
+        assert all(0.0 <= t <= 1.0 + 1e-9 for t in trust.values())
+
+    def test_prefers_specific_value_when_supported(self, table1_dataset):
+        result = Asums(max_iter=20, tau=0.5).fit(table1_dataset)
+        # With a generous threshold ASUMS picks the deeper candidate.
+        assert result.truth("Statue of Liberty") in {"Liberty Island", "NY"}
+
+
+class TestDocs:
+    def test_domains_derived_from_hierarchy(self, table1_dataset):
+        docs = Docs()
+        domain = docs.object_domain(table1_dataset, "Big Ben")
+        assert domain == "UK"
+        assert docs.object_domain(table1_dataset, "Niagara Falls") == "USA"
+
+    def test_domain_accuracy_exposed(self, table1_dataset):
+        result = Docs(max_iter=10).fit(table1_dataset)
+        assert result.domain_accuracy  # non-empty
+        assert all(0 < acc < 1 for acc in result.domain_accuracy.values())
+
+
+class TestMdc:
+    def test_difficulty_bounded(self, table1_dataset):
+        result = Mdc(max_iter=5).fit(table1_dataset)
+        assert all(
+            0.05 <= d <= 5.0 for d in result.inverse_difficulty.values()
+        )
+
+    def test_reliability_bounded(self, table1_dataset):
+        result = Mdc(max_iter=5).fit(table1_dataset)
+        assert all(-5.0 <= r <= 5.0 for r in result.reliability.values())
+
+
+class TestCrh:
+    def test_weights_positive_for_agreeing_sources(self, small_birthplaces):
+        result = Crh(max_iter=10).fit(small_birthplaces)
+        weights = result.source_weights
+        assert all(np.isfinite(w) for w in weights.values())
+        # The best profile source should outweigh the worst.
+        assert weights["source_2"] > weights["source_7"]

@@ -1,0 +1,116 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.__main__ import ALGORITHMS, main
+from repro.io import write_hierarchy_csv, write_records_csv, write_truths_csv
+
+
+@pytest.fixture()
+def csv_files(table1_dataset, tmp_path):
+    records = tmp_path / "records.csv"
+    hierarchy = tmp_path / "hierarchy.csv"
+    gold = tmp_path / "gold.csv"
+    write_records_csv(table1_dataset, records)
+    write_hierarchy_csv(table1_dataset.hierarchy, hierarchy)
+    write_truths_csv(table1_dataset.gold, gold)
+    return {
+        "records": str(records),
+        "hierarchy": str(hierarchy),
+        "gold": str(gold),
+        "root": table1_dataset.hierarchy.root,
+        "tmp": tmp_path,
+    }
+
+
+def _read_truths(path):
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        next(reader)
+        return dict(reader)
+
+
+class TestCli:
+    def test_tdh_end_to_end(self, csv_files, capsys):
+        output = csv_files["tmp"] / "truths.csv"
+        code = main(
+            [
+                "--records", csv_files["records"],
+                "--hierarchy", csv_files["hierarchy"],
+                "--gold", csv_files["gold"],
+                "--root", csv_files["root"],
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        truths = _read_truths(output)
+        assert truths["Statue of Liberty"] == "Liberty Island"
+        captured = capsys.readouterr().out
+        assert "Accuracy=" in captured
+
+    def test_vote_algorithm(self, csv_files):
+        output = csv_files["tmp"] / "truths.csv"
+        code = main(
+            [
+                "--records", csv_files["records"],
+                "--hierarchy", csv_files["hierarchy"],
+                "--root", csv_files["root"],
+                "--algorithm", "VOTE",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert len(_read_truths(output)) == 3
+
+    def test_trust_output(self, csv_files):
+        output = csv_files["tmp"] / "truths.csv"
+        trust = csv_files["tmp"] / "trust.csv"
+        main(
+            [
+                "--records", csv_files["records"],
+                "--hierarchy", csv_files["hierarchy"],
+                "--root", csv_files["root"],
+                "--output", str(output),
+                "--trust", str(trust),
+            ]
+        )
+        with open(trust, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["source", "exact", "generalized", "wrong"]
+        assert len(rows) == 6  # header + 5 sources
+        for row in rows[1:]:
+            phi = [float(x) for x in row[1:]]
+            assert sum(phi) == pytest.approx(1.0, abs=1e-3)
+
+    def test_trust_with_non_tdh_warns(self, csv_files, capsys):
+        output = csv_files["tmp"] / "truths.csv"
+        trust = csv_files["tmp"] / "trust.csv"
+        main(
+            [
+                "--records", csv_files["records"],
+                "--hierarchy", csv_files["hierarchy"],
+                "--root", csv_files["root"],
+                "--algorithm", "VOTE",
+                "--output", str(output),
+                "--trust", str(trust),
+            ]
+        )
+        assert "requires --algorithm TDH" in capsys.readouterr().err
+
+    def test_all_algorithms_runnable(self, csv_files):
+        for name in ALGORITHMS:
+            output = csv_files["tmp"] / f"truths_{name}.csv"
+            code = main(
+                [
+                    "--records", csv_files["records"],
+                    "--hierarchy", csv_files["hierarchy"],
+                    "--root", csv_files["root"],
+                    "--algorithm", name,
+                    "--max-iter", "5",
+                    "--output", str(output),
+                ]
+            )
+            assert code == 0, name
+            assert len(_read_truths(output)) == 3, name

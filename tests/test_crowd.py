@@ -1,0 +1,188 @@
+"""Tests for simulated workers and the crowdsourcing simulator."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CrowdSimulator,
+    EAIAssigner,
+    MaxEntropyAssigner,
+    SimulatedWorker,
+    TDHModel,
+    Vote,
+    make_birthplaces,
+)
+from repro.crowd import make_amt_panel, make_human_panel, make_worker_pool
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_birthplaces(size=120, seed=7)
+
+
+class TestSimulatedWorker:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedWorker("w", p_exact=1.5)
+        with pytest.raises(ValueError):
+            SimulatedWorker("w", p_exact=0.8, p_generalize=0.4)
+
+    def test_perfect_worker_always_correct(self, dataset):
+        worker = SimulatedWorker("w", p_exact=1.0)
+        rng = np.random.default_rng(0)
+        from repro.eval.metrics import effective_truth
+
+        for obj in dataset.objects[:30]:
+            answer = worker.answer(dataset, obj, rng)
+            expected = effective_truth(dataset, obj, dataset.gold[obj])
+            if expected is not None:
+                assert answer == expected
+
+    def test_answers_are_candidates(self, dataset):
+        worker = SimulatedWorker("w", p_exact=0.0)
+        rng = np.random.default_rng(0)
+        for obj in dataset.objects[:30]:
+            assert worker.answer(dataset, obj, rng) in dataset.candidates(obj)
+
+    def test_empirical_accuracy_matches_p(self, dataset):
+        worker = SimulatedWorker("w", p_exact=0.8)
+        rng = np.random.default_rng(1)
+        from repro.eval.metrics import effective_truth
+
+        hits = trials = 0
+        for _ in range(10):
+            for obj in dataset.objects:
+                expected = effective_truth(dataset, obj, dataset.gold[obj])
+                if expected is None or len(dataset.candidates(obj)) < 2:
+                    continue
+                trials += 1
+                hits += worker.answer(dataset, obj, rng) == expected
+        # p_exact plus the chance of a random hit keeps this near ~0.85.
+        assert hits / trials > 0.75
+
+    def test_generalizing_worker_answers_ancestors(self, dataset):
+        worker = SimulatedWorker("w", p_exact=0.0, p_generalize=1.0)
+        rng = np.random.default_rng(2)
+        hierarchy = dataset.hierarchy
+        from repro.eval.metrics import effective_truth
+
+        generalized = 0
+        for obj in dataset.objects:
+            truth = effective_truth(dataset, obj, dataset.gold[obj])
+            if truth is None:
+                continue
+            answer = worker.answer(dataset, obj, rng)
+            if hierarchy.is_ancestor(answer, truth):
+                generalized += 1
+        assert generalized > 0
+
+
+class TestPanels:
+    def test_pool_size_and_ids(self):
+        pool = make_worker_pool(10, seed=3)
+        assert len(pool) == 10
+        assert len({w.worker_id for w in pool}) == 10
+
+    def test_pool_p_within_band(self):
+        pool = make_worker_pool(50, pi_p=0.75, spread=0.05, seed=3)
+        assert all(0.70 <= w.p_exact <= 0.80 for w in pool)
+
+    def test_pool_seeded_reproducible(self):
+        p1 = make_worker_pool(5, seed=9)
+        p2 = make_worker_pool(5, seed=9)
+        assert [w.p_exact for w in p1] == [w.p_exact for w in p2]
+
+    def test_human_panel_better_than_default(self):
+        humans = make_human_panel(10, seed=1)
+        default = make_worker_pool(10, seed=1)
+        assert np.mean([w.p_exact for w in humans]) > np.mean(
+            [w.p_exact for w in default]
+        )
+        assert all(w.p_generalize > 0 for w in humans)
+
+    def test_amt_panel_mixed_quality(self):
+        panel = make_amt_panel(20, seed=2)
+        ps = [w.p_exact for w in panel]
+        assert min(ps) < 0.5 < max(ps)
+
+
+class TestSimulator:
+    def test_history_round_zero_is_no_crowdsourcing(self, dataset):
+        sim = CrowdSimulator(
+            dataset, TDHModel(max_iter=15, tol=1e-4), MaxEntropyAssigner(),
+            make_worker_pool(5, seed=3), seed=5,
+        )
+        history = sim.run(rounds=2, tasks_per_worker=2)
+        assert history.records[0].round == 0
+        assert history.records[0].answers_collected == 0
+
+    def test_input_dataset_not_mutated(self, dataset):
+        before = dataset.num_answers
+        sim = CrowdSimulator(
+            dataset, TDHModel(max_iter=10, tol=1e-4), MaxEntropyAssigner(),
+            make_worker_pool(3, seed=3), seed=5,
+        )
+        sim.run(rounds=2, tasks_per_worker=2)
+        assert dataset.num_answers == before
+
+    def test_answers_accumulate(self, dataset):
+        sim = CrowdSimulator(
+            dataset, TDHModel(max_iter=10, tol=1e-4), MaxEntropyAssigner(),
+            make_worker_pool(4, seed=3), seed=5,
+        )
+        history = sim.run(rounds=3, tasks_per_worker=2)
+        assert sim.dataset.num_answers == sum(
+            r.answers_collected for r in history.records
+        )
+
+    def test_accuracy_improves_with_good_workers(self, dataset):
+        sim = CrowdSimulator(
+            dataset, TDHModel(max_iter=15, tol=1e-4), EAIAssigner(),
+            make_worker_pool(8, pi_p=0.95, seed=3), seed=5,
+        )
+        history = sim.run(rounds=8, tasks_per_worker=5)
+        assert history.final.accuracy >= history.records[0].accuracy
+
+    def test_works_with_non_tdh_model(self, dataset):
+        sim = CrowdSimulator(
+            dataset, Vote(), MaxEntropyAssigner(), make_worker_pool(3, seed=3), seed=5
+        )
+        history = sim.run(rounds=2, tasks_per_worker=2)
+        assert len(history.records) == 3
+
+    def test_estimated_improvement_recorded_for_eai(self, dataset):
+        sim = CrowdSimulator(
+            dataset, TDHModel(max_iter=10, tol=1e-4), EAIAssigner(),
+            make_worker_pool(3, seed=3), seed=5,
+        )
+        history = sim.run(rounds=2, tasks_per_worker=2)
+        assert all(
+            r.estimated_improvement is not None for r in history.records[1:]
+        )
+
+    def test_series_and_at_round(self, dataset):
+        sim = CrowdSimulator(
+            dataset, Vote(), MaxEntropyAssigner(), make_worker_pool(2, seed=3), seed=5
+        )
+        history = sim.run(rounds=3, tasks_per_worker=1)
+        assert len(history.series("accuracy")) == 4
+        assert history.at_round(2).round == 2
+        with pytest.raises(KeyError):
+            history.at_round(99)
+
+    def test_evaluate_every(self, dataset):
+        sim = CrowdSimulator(
+            dataset, Vote(), MaxEntropyAssigner(), make_worker_pool(2, seed=3), seed=5
+        )
+        history = sim.run(rounds=4, tasks_per_worker=1, evaluate_every=2)
+        assert [r.round for r in history.records] == [0, 2, 4]
+
+    def test_seeded_runs_reproducible(self, dataset):
+        def run():
+            sim = CrowdSimulator(
+                dataset, TDHModel(max_iter=10, tol=1e-4), MaxEntropyAssigner(),
+                make_worker_pool(3, seed=3), seed=5,
+            )
+            return sim.run(rounds=2, tasks_per_worker=2).series("accuracy")
+
+        assert run() == run()

@@ -1,0 +1,173 @@
+"""Unit tests for records, answers and TruthDiscoveryDataset."""
+
+import pytest
+
+from repro import Answer, Hierarchy, Record, TruthDiscoveryDataset
+from repro.data import DatasetError
+
+
+@pytest.fixture()
+def hierarchy() -> Hierarchy:
+    h = Hierarchy()
+    h.add_path(["USA", "NY", "NYC"])
+    h.add_path(["USA", "LA"])
+    h.add_path(["UK", "London"])
+    return h
+
+
+@pytest.fixture()
+def dataset(hierarchy) -> TruthDiscoveryDataset:
+    records = [
+        Record("o1", "s1", "NYC"),
+        Record("o1", "s2", "NY"),
+        Record("o1", "s3", "LA"),
+        Record("o2", "s1", "London"),
+        Record("o2", "s2", "London"),
+        Record("o3", "s3", "USA"),
+    ]
+    return TruthDiscoveryDataset(hierarchy, records, gold={"o1": "NYC"})
+
+
+class TestRecords:
+    def test_objects_in_first_seen_order(self, dataset):
+        assert dataset.objects == ["o1", "o2", "o3"]
+
+    def test_sources(self, dataset):
+        assert set(dataset.sources) == {"s1", "s2", "s3"}
+
+    def test_num_records(self, dataset):
+        assert dataset.num_records == 6
+
+    def test_records_for(self, dataset):
+        assert dataset.records_for("o1") == {"s1": "NYC", "s2": "NY", "s3": "LA"}
+
+    def test_records_for_unknown_object_empty(self, dataset):
+        assert dataset.records_for("nope") == {}
+
+    def test_duplicate_source_claim_overwrites(self, dataset):
+        dataset.add_record(Record("o1", "s1", "LA"))
+        assert dataset.records_for("o1")["s1"] == "LA"
+        assert dataset.num_records == 6  # still one claim per (o, s)
+
+    def test_sources_of(self, dataset):
+        assert set(dataset.sources_of("o1")) == {"s1", "s2", "s3"}
+
+    def test_objects_of_source(self, dataset):
+        assert dataset.objects_of_source("s1") == ["o1", "o2"]
+
+    def test_iter_records_roundtrip(self, dataset):
+        records = list(dataset.iter_records())
+        assert len(records) == dataset.num_records
+        assert Record("o1", "s2", "NY") in records
+
+    def test_record_value_must_be_in_hierarchy(self, dataset):
+        with pytest.raises(DatasetError, match="not in the hierarchy"):
+            dataset.add_record(Record("o1", "s4", "Tokyo"))
+
+    def test_root_claims_rejected(self, dataset, hierarchy):
+        with pytest.raises(DatasetError, match="no information"):
+            dataset.add_record(Record("o1", "s4", hierarchy.root))
+
+
+class TestAnswers:
+    def test_add_answer(self, dataset):
+        dataset.add_answer(Answer("o1", "w1", "NYC"))
+        assert dataset.answers_for("o1") == {"w1": "NYC"}
+        assert dataset.workers == ["w1"]
+        assert dataset.num_answers == 1
+
+    def test_answer_must_be_candidate(self, dataset):
+        with pytest.raises(DatasetError, match="not a candidate"):
+            dataset.add_answer(Answer("o1", "w1", "London"))
+
+    def test_answer_overwrite_same_worker(self, dataset):
+        dataset.add_answer(Answer("o1", "w1", "NYC"))
+        dataset.add_answer(Answer("o1", "w1", "NY"))
+        assert dataset.answers_for("o1") == {"w1": "NY"}
+        assert dataset.num_answers == 1
+
+    def test_workers_of_and_objects_of_worker(self, dataset):
+        dataset.add_answer(Answer("o1", "w1", "NYC"))
+        dataset.add_answer(Answer("o2", "w1", "London"))
+        assert dataset.workers_of("o1") == ["w1"]
+        assert dataset.objects_of_worker("w1") == ["o1", "o2"]
+
+    def test_iter_answers(self, dataset):
+        dataset.add_answer(Answer("o1", "w1", "NY"))
+        assert list(dataset.iter_answers()) == [Answer("o1", "w1", "NY")]
+
+
+class TestCandidates:
+    def test_candidates_in_first_claim_order(self, dataset):
+        assert dataset.candidates("o1") == ["NYC", "NY", "LA"]
+
+    def test_context_index(self, dataset):
+        ctx = dataset.context("o1")
+        assert ctx.index == {"NYC": 0, "NY": 1, "LA": 2}
+        assert ctx.size == 3
+
+    def test_ancestor_sets(self, dataset):
+        ctx = dataset.context("o1")
+        # NY is an ancestor of NYC and both are candidates.
+        assert ctx.ancestor_sets[ctx.index["NYC"]] == [ctx.index["NY"]]
+        assert ctx.descendant_sets[ctx.index["NY"]] == [ctx.index["NYC"]]
+        assert ctx.ancestor_sets[ctx.index["LA"]] == []
+
+    def test_has_hierarchy_flag(self, dataset):
+        assert dataset.context("o1").has_hierarchy  # NYC under NY
+        assert not dataset.context("o2").has_hierarchy  # single value
+
+    def test_hierarchical_objects(self, dataset):
+        assert dataset.hierarchical_objects == ["o1"]
+
+    def test_context_for_unknown_object_raises(self, dataset):
+        with pytest.raises(DatasetError, match="no records"):
+            dataset.context("nope")
+
+    def test_context_cache_invalidated_by_new_record(self, dataset):
+        assert dataset.candidates("o2") == ["London"]
+        dataset.add_record(Record("o2", "s3", "UK"))
+        assert dataset.candidates("o2") == ["London", "UK"]
+        assert dataset.context("o2").has_hierarchy
+
+
+class TestUtilities:
+    def test_copy_is_independent(self, dataset):
+        clone = dataset.copy()
+        clone.add_record(Record("o9", "s1", "LA"))
+        assert "o9" not in dataset.objects
+        assert "o9" in clone.objects
+
+    def test_copy_without_answers(self, dataset):
+        dataset.add_answer(Answer("o1", "w1", "NYC"))
+        clone = dataset.copy(include_answers=False)
+        assert clone.num_answers == 0
+        assert clone.num_records == dataset.num_records
+
+    def test_copy_shares_gold(self, dataset):
+        clone = dataset.copy()
+        assert clone.gold == {"o1": "NYC"}
+
+    def test_scaled_duplicates_objects(self, dataset):
+        scaled = dataset.scaled(3)
+        assert len(scaled.objects) == 3 * len(dataset.objects)
+        assert scaled.num_records == 3 * dataset.num_records
+        # copies share claims and gold
+        assert scaled.records_for(("o1", 1)) == dataset.records_for("o1")
+        assert scaled.gold[("o1", 2)] == "NYC"
+
+    def test_scaled_factor_one_is_plain_copy(self, dataset):
+        scaled = dataset.scaled(1)
+        assert scaled.objects == dataset.objects
+
+    def test_scaled_invalid_factor(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.scaled(0)
+
+    def test_stats_keys(self, dataset):
+        stats = dataset.stats()
+        assert stats["objects"] == 3
+        assert stats["sources"] == 3
+        assert stats["records"] == 6
+        assert stats["objects_in_OH"] == 1
+        assert stats["mean_candidates"] == pytest.approx((3 + 1 + 1) / 3)

@@ -1,0 +1,68 @@
+"""Tests for the EM diagnostics (Eq. 8 objective)."""
+
+import numpy as np
+import pytest
+
+from repro import TDHModel, make_birthplaces
+from repro.inference.diagnostics import (
+    _log_dirichlet_pdf,
+    log_likelihood,
+    log_posterior,
+    objective_trace,
+)
+
+
+class TestDirichletPdf:
+    def test_uniform_dirichlet_is_flat(self):
+        alpha = np.array([1.0, 1.0, 1.0])
+        a = _log_dirichlet_pdf(np.array([0.5, 0.3, 0.2]), alpha)
+        b = _log_dirichlet_pdf(np.array([0.2, 0.3, 0.5]), alpha)
+        assert a == pytest.approx(b)
+
+    def test_mode_has_higher_density(self):
+        alpha = np.array([3.0, 3.0, 2.0])
+        mode = (alpha - 1) / (alpha - 1).sum()
+        off = np.array([0.05, 0.05, 0.9])
+        assert _log_dirichlet_pdf(mode, alpha) > _log_dirichlet_pdf(off, alpha)
+
+    def test_normalisation_constant(self):
+        # Dir(1,1) on the 1-simplex is the uniform density 1 -> log 0.
+        assert _log_dirichlet_pdf(
+            np.array([0.4, 0.6]), np.array([1.0, 1.0])
+        ) == pytest.approx(0.0)
+
+
+class TestObjective:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        dataset = make_birthplaces(size=100, seed=7)
+        model = TDHModel(max_iter=15, tol=1e-4)
+        return dataset, model, model.fit(dataset)
+
+    def test_log_likelihood_finite_negative(self, fitted):
+        dataset, _model, result = fitted
+        value = log_likelihood(dataset, result)
+        assert np.isfinite(value)
+        assert value < 0.0  # product of probabilities
+
+    def test_log_posterior_includes_priors(self, fitted):
+        dataset, model, result = fitted
+        assert log_posterior(dataset, result, model) != log_likelihood(
+            dataset, result
+        )
+
+    def test_em_monotonically_improves_objective(self):
+        """The EM invariant: F never decreases across sweeps."""
+        dataset = make_birthplaces(size=100, seed=7)
+        model = TDHModel(max_iter=10)
+        trace = objective_trace(dataset, model, iterations=6)
+        for earlier, later in zip(trace, trace[1:]):
+            assert later >= earlier - 1e-6, trace
+
+    def test_converged_fit_near_trace_maximum(self):
+        dataset = make_birthplaces(size=100, seed=7)
+        model = TDHModel(max_iter=50, tol=1e-6)
+        result = model.fit(dataset)
+        final = log_posterior(dataset, result, model)
+        trace = objective_trace(dataset, model, iterations=4)
+        assert final >= trace[0] - 1e-6

@@ -1,0 +1,93 @@
+"""Tests for the multi-truth evaluation (Table 5 measures)."""
+
+import pytest
+
+from repro import Hierarchy, Record, TruthDiscoveryDataset
+from repro.eval import (
+    ancestor_closure,
+    closure_within_candidates,
+    evaluate_multitruth,
+    single_truth_as_sets,
+)
+
+
+@pytest.fixture()
+def dataset():
+    h = Hierarchy()
+    h.add_path(["USA", "NY", "NYC"])
+    h.add_path(["USA", "LA"])
+    records = [
+        Record("o1", "s1", "NYC"),
+        Record("o1", "s2", "NY"),
+        Record("o1", "s3", "LA"),
+        Record("o2", "s1", "LA"),
+        Record("o2", "s2", "NY"),
+    ]
+    return TruthDiscoveryDataset(h, records, gold={"o1": "NYC", "o2": "LA"})
+
+
+class TestClosure:
+    def test_ancestor_closure(self, dataset):
+        assert ancestor_closure(dataset.hierarchy, "NYC") == {"NYC", "NY", "USA"}
+
+    def test_closure_within_candidates(self, dataset):
+        # USA is not a candidate of o1, so it is excluded.
+        assert closure_within_candidates(dataset, "o1", "NYC") == {"NYC", "NY"}
+
+    def test_single_truth_as_sets(self, dataset):
+        sets = single_truth_as_sets(dataset, {"o1": "NYC", "o2": "LA"})
+        assert sets["o1"] == {"NYC", "NY"}
+        assert sets["o2"] == {"LA"}
+
+
+class TestEvaluateMultitruth:
+    def test_perfect(self, dataset):
+        estimated = {"o1": {"NYC", "NY"}, "o2": {"LA"}}
+        report = evaluate_multitruth(dataset, estimated)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_general_only_estimate_trades_precision_for_recall(self, dataset):
+        # Claiming just NY for o1: precise (NY is a truth) but incomplete.
+        report = evaluate_multitruth(dataset, {"o1": {"NY"}, "o2": {"LA"}})
+        assert report.precision == 1.0
+        assert report.recall == pytest.approx(2 / 3)
+
+    def test_overclaiming_hurts_precision(self, dataset):
+        report = evaluate_multitruth(
+            dataset, {"o1": {"NYC", "NY", "LA"}, "o2": {"LA"}}
+        )
+        assert report.precision == pytest.approx(3 / 4)
+        assert report.recall == 1.0
+
+    def test_wrong_value_zero_overlap(self, dataset):
+        report = evaluate_multitruth(dataset, {"o1": {"LA"}, "o2": {"NY"}})
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_f1_harmonic_mean(self, dataset):
+        report = evaluate_multitruth(dataset, {"o1": {"NY"}, "o2": {"LA"}})
+        p, r = report.precision, report.recall
+        assert report.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_missing_objects_skipped(self, dataset):
+        report = evaluate_multitruth(dataset, {"o1": {"NYC", "NY"}})
+        assert report.num_objects == 1
+
+    def test_no_overlap_raises(self, dataset):
+        with pytest.raises(ValueError):
+            evaluate_multitruth(dataset, {"zzz": {"NYC"}})
+
+    def test_unrestricted_closure_includes_unclaimed_ancestors(self, dataset):
+        report = evaluate_multitruth(
+            dataset, {"o1": {"NYC", "NY"}, "o2": {"LA"}},
+            restrict_to_candidates=False,
+        )
+        # USA is now part of the gold set but unreachable -> recall < 1.
+        assert report.recall < 1.0
+
+    def test_as_row(self, dataset):
+        report = evaluate_multitruth(dataset, {"o1": {"NYC", "NY"}, "o2": {"LA"}})
+        assert set(report.as_row()) == {"Precision", "Recall", "F1"}

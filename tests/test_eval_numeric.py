@@ -1,0 +1,42 @@
+"""Tests for the numeric evaluation measures (Table 6)."""
+
+import pytest
+
+from repro.eval import evaluate_numeric
+
+
+class TestEvaluateNumeric:
+    def test_perfect(self):
+        report = evaluate_numeric({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0})
+        assert report.mae == 0.0
+        assert report.relative_error == 0.0
+        assert report.num_objects == 2
+
+    def test_mae(self):
+        report = evaluate_numeric({"a": 1.5, "b": 2.0}, {"a": 1.0, "b": 3.0})
+        assert report.mae == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_relative_error(self):
+        report = evaluate_numeric({"a": 2.0}, {"a": 1.0})
+        assert report.relative_error == pytest.approx(1.0)
+
+    def test_zero_truth_guarded_by_epsilon(self):
+        report = evaluate_numeric({"a": 0.1}, {"a": 0.0}, epsilon=0.1)
+        assert report.relative_error == pytest.approx(1.0)
+
+    def test_negative_truths(self):
+        report = evaluate_numeric({"a": -1.0}, {"a": -2.0})
+        assert report.mae == 1.0
+        assert report.relative_error == pytest.approx(0.5)
+
+    def test_missing_estimates_skipped(self):
+        report = evaluate_numeric({"a": 1.0}, {"a": 1.0, "b": 5.0})
+        assert report.num_objects == 1
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_numeric({}, {"a": 1.0})
+
+    def test_as_row(self):
+        report = evaluate_numeric({"a": 1.0}, {"a": 1.0})
+        assert set(report.as_row()) == {"MAE", "R/E"}

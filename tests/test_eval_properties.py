@@ -1,0 +1,109 @@
+"""Property-based tests on the evaluation measures and sparkline rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Hierarchy, Record, TruthDiscoveryDataset
+from repro.eval import evaluate, evaluate_multitruth, single_truth_as_sets
+from repro.experiments.common import SPARK_BLOCKS, format_sparklines, sparkline
+
+
+@st.composite
+def dataset_with_gold(draw):
+    """A random dataset whose gold values are drawn from the hierarchy."""
+    n_nodes = draw(st.integers(3, 10))
+    hierarchy = Hierarchy()
+    for i in range(n_nodes):
+        parent_index = draw(st.integers(-1, i - 1))
+        parent = hierarchy.root if parent_index < 0 else f"n{parent_index}"
+        hierarchy.add_edge(f"n{i}", parent)
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    n_objects = draw(st.integers(1, 5))
+    records = []
+    gold = {}
+    for i in range(n_objects):
+        n_claims = draw(st.integers(1, 4))
+        for s in range(n_claims):
+            records.append(Record(f"o{i}", f"s{s}", draw(st.sampled_from(nodes))))
+        gold[f"o{i}"] = draw(st.sampled_from(nodes))
+    return TruthDiscoveryDataset(hierarchy, records, gold=gold)
+
+
+class TestEvaluateProperties:
+    @given(dataset_with_gold(), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_accuracy_never_exceeds_gen_accuracy(self, dataset, seed):
+        rng = np.random.default_rng(seed)
+        estimates = {}
+        for obj in dataset.objects:
+            candidates = dataset.candidates(obj)
+            estimates[obj] = candidates[int(rng.integers(len(candidates)))]
+        report = evaluate(dataset, estimates)
+        assert 0.0 <= report.accuracy <= report.gen_accuracy <= 1.0
+        assert report.avg_distance >= 0.0
+
+    @given(dataset_with_gold())
+    @settings(max_examples=40, deadline=None)
+    def test_projected_gold_estimate_scores_perfectly(self, dataset):
+        """Estimating exactly the effective truth yields accuracy 1 where it
+        exists."""
+        from repro.eval import effective_truth
+
+        estimates = {}
+        expected_hits = 0
+        for obj in dataset.objects:
+            target = effective_truth(dataset, obj, dataset.gold[obj])
+            if target is None:
+                estimates[obj] = dataset.candidates(obj)[0]
+            else:
+                estimates[obj] = target
+                expected_hits += 1
+        report = evaluate(dataset, estimates)
+        assert report.accuracy >= expected_hits / len(dataset.objects) - 1e-9
+
+    @given(dataset_with_gold(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_multitruth_prf_within_bounds(self, dataset, seed):
+        rng = np.random.default_rng(seed)
+        estimates = {}
+        for obj in dataset.objects:
+            candidates = dataset.candidates(obj)
+            estimates[obj] = candidates[int(rng.integers(len(candidates)))]
+        report = evaluate_multitruth(dataset, single_truth_as_sets(dataset, estimates))
+        assert 0.0 <= report.precision <= 1.0
+        assert 0.0 <= report.recall <= 1.0
+        assert min(report.precision, report.recall) - 1e-9 <= report.f1
+        assert report.f1 <= max(report.precision, report.recall) + 1e-9
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_mid_height(self):
+        assert sparkline([2.0, 2.0, 2.0]) == SPARK_BLOCKS[3] * 3
+
+    def test_monotone_series_monotone_blocks(self):
+        rendered = sparkline([1, 2, 3, 4, 5])
+        indices = [SPARK_BLOCKS.index(ch) for ch in rendered]
+        assert indices == sorted(indices)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_length_preserved_and_chars_valid(self, values):
+        rendered = sparkline(values)
+        assert len(rendered) == len(values)
+        assert all(ch in SPARK_BLOCKS for ch in rendered)
+
+    def test_pinned_scale(self):
+        assert sparkline([5.0], lo=0.0, hi=10.0) == SPARK_BLOCKS[4]
+
+    def test_format_sparklines_includes_scale(self):
+        text = format_sparklines({"a": [0.0, 1.0]}, title="T")
+        assert "T" in text
+        assert "lo=0.0000 hi=1.0000" in text
+
+    def test_format_sparklines_empty(self):
+        assert format_sparklines({}, title="T") == "T"

@@ -1,0 +1,117 @@
+"""Tests for the experiment-harness helpers (common, crowd_runs, fig8 math)."""
+
+import pytest
+
+import repro.experiments.common as common
+from repro.experiments.common import (
+    ExperimentScale,
+    assigner_factories,
+    format_series,
+    format_table,
+    inference_factories,
+    make_combo,
+    scale,
+)
+from repro.experiments.crowd_runs import run_combo, run_combos
+from repro.experiments.fig8_cost import cost_saving
+
+TINY = ExperimentScale(
+    birthplaces_size=60,
+    heritages_size=40,
+    heritages_sources=50,
+    rounds=2,
+    workers=3,
+    tasks_per_worker=2,
+    em_iterations=5,
+)
+
+
+class TestScale:
+    def test_fast_is_default(self):
+        assert scale() is common.FAST
+
+    def test_full_uses_paper_sizes(self):
+        assert scale(full=True).birthplaces_size == 6005
+        assert scale(full=True).heritages_size == 785
+        assert scale(full=True).rounds == 50
+
+    def test_em_tol(self):
+        assert TINY.em_tol == 1e-4
+
+
+class TestFactories:
+    def test_ten_inference_algorithms(self):
+        factories = inference_factories(TINY)
+        assert len(factories) == 10
+        for name, factory in factories.items():
+            algo = factory()
+            assert algo.name == name
+
+    def test_four_assigners(self):
+        factories = assigner_factories()
+        assert set(factories) == {"EAI", "QASCA", "ME", "MB"}
+
+    def test_make_combo(self):
+        model, assigner = make_combo("TDH", "EAI", TINY)
+        assert model.name == "TDH"
+        assert assigner.name == "EAI"
+
+    def test_table4_combos_are_instantiable(self):
+        for inference, assigners in common.TABLE4_COMBOS.items():
+            for assigner in assigners:
+                model, task_assigner = make_combo(inference, assigner, TINY)
+                assert model.name == inference
+                assert task_assigner.name == assigner
+
+
+class TestRunCombo:
+    def test_run_combo_returns_history(self, small_birthplaces):
+        history = run_combo(small_birthplaces, "VOTE", "ME", TINY)
+        assert len(history.records) == TINY.rounds + 1
+
+    def test_run_combos_keys(self, small_birthplaces):
+        histories = run_combos(
+            small_birthplaces, [("VOTE", "ME"), ("TDH", "EAI")], TINY
+        )
+        assert set(histories) == {"VOTE+ME", "TDH+EAI"}
+
+    def test_custom_rounds_override(self, small_birthplaces):
+        history = run_combo(small_birthplaces, "VOTE", "ME", TINY, rounds=1)
+        assert history.final.round == 1
+
+
+class TestCostSaving:
+    def test_never_reaching_target(self):
+        assert cost_saving([0.5, 0.6, 0.7], 0.9) == 0.0
+
+    def test_immediate_reach(self):
+        assert cost_saving([0.9, 0.92, 0.95], 0.9) == 1.0
+
+    def test_midway(self):
+        # reaches 0.8 at index 2 of 4 -> saves half the rounds
+        assert cost_saving([0.5, 0.7, 0.8, 0.85, 0.9], 0.8) == pytest.approx(0.5)
+
+    def test_minimise_mode(self):
+        assert cost_saving([0.5, 0.3, 0.1], 0.3, maximize=False) == pytest.approx(0.5)
+
+    def test_single_point_series(self):
+        assert cost_saving([0.5], 0.4) == 0.0
+
+
+class TestFormatting:
+    def test_format_table_width_alignment(self):
+        text = format_table(
+            [{"Name": "alpha", "V": 1.0}, {"Name": "b", "V": 2.0}],
+            ["Name", "V"],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert all(len(line) >= len("Name  V") for line in lines[:2])
+
+    def test_format_table_missing_cell(self):
+        text = format_table([{"A": 1.0}], ["A", "B"])
+        assert "-" in text
+
+    def test_format_series_nan_padding(self):
+        text = format_series({"x": [1.0]}, [0, 1])
+        assert "nan" in text

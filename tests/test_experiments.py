@@ -1,0 +1,199 @@
+"""Smoke tests for the experiment harness — every table/figure module runs at
+a tiny scale and returns data with the expected shape."""
+
+import pytest
+
+import repro.experiments.common as common
+from repro.experiments import (
+    EXPERIMENTS,
+    fig1_tendency,
+    fig5_reliability,
+    fig6_assignment,
+    fig7_estimation,
+    fig11_worker_quality,
+    fig12_runtime,
+    fig13_scaling,
+    fig14_human,
+    fig17_amt,
+    table3_inference,
+    table4_combos,
+    table5_multitruth,
+    table6_numeric,
+)
+
+TINY = common.ExperimentScale(
+    birthplaces_size=80,
+    heritages_size=60,
+    heritages_sources=80,
+    rounds=3,
+    workers=4,
+    tasks_per_worker=2,
+    em_iterations=8,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(common, "FAST", TINY)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        # 14 paper tables/figures + the extended table-3 comparison.
+        assert len(EXPERIMENTS) == 15
+
+    def test_every_experiment_has_run_and_main(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+            assert callable(module.main)
+
+
+class TestFig1:
+    def test_rows_per_dataset(self):
+        results = fig1_tendency.run()
+        assert set(results) == {"BirthPlaces", "Heritages"}
+        for rows in results.values():
+            assert rows
+            for row in rows:
+                assert 0.0 <= row["Accuracy"] <= row["GenAccuracy"] <= 1.0
+
+
+class TestTable3:
+    def test_all_algorithms_reported(self):
+        results = table3_inference.run()
+        for rows in results.values():
+            assert {r["Algorithm"] for r in rows} == set(
+                common.inference_factories(TINY)
+            )
+
+    def test_subset_selection(self):
+        results = table3_inference.run(algorithms=["TDH", "VOTE"])
+        for rows in results.values():
+            assert len(rows) == 2
+
+
+class TestFig5:
+    def test_seven_sources_with_estimates(self):
+        rows = fig5_reliability.run()
+        assert len(rows) == 7
+        for row in rows:
+            assert 0.0 <= row["phi_s1"] <= 1.0
+            assert 0.0 <= row["t(s)"] <= 1.0 + 1e-9
+
+
+class TestFig6:
+    def test_series_lengths(self):
+        results = fig6_assignment.run()
+        for data in results.values():
+            rounds = data["rounds"]
+            assert rounds[0] == 0
+            for combo in ("TDH+EAI", "TDH+QASCA", "TDH+ME"):
+                assert len(data[combo]) == len(rounds)
+
+
+class TestFig7:
+    def test_estimates_recorded(self):
+        results = fig7_estimation.run()
+        for per_assigner in results.values():
+            for data in per_assigner.values():
+                assert len(data["actual_pp"]) == len(data["estimated_pp"])
+                assert data["mean_abs_error_pp"] >= 0.0
+
+
+class TestTable4:
+    def test_impossible_cells_dashed(self):
+        results = table4_combos.run()
+        for rows in results.values():
+            by_algo = {r["Algorithm"]: r for r in rows}
+            assert by_algo["VOTE"]["EAI"] == "-"
+            assert by_algo["TDH"]["MB"] == "-"
+            assert isinstance(by_algo["TDH"]["EAI"], float)
+
+
+class TestFig8:
+    def test_metrics_and_cost_saving(self):
+        results = fig8_cost.run()
+        for data in results.values():
+            assert set(data["accuracy"]) == {
+                f"{i}+{a}" for i, a in common.HEADLINE_COMBOS
+            }
+            assert 0.0 <= data["cost_saving"] <= 1.0
+
+
+# fig8 import at module scope
+from repro.experiments import fig8_cost  # noqa: E402
+
+
+class TestFig11:
+    def test_accuracy_grows_with_pi(self):
+        results = fig11_worker_quality.run(pi_values=(0.55, 0.95))
+        for data in results.values():
+            series = data["TDH+EAI"]
+            assert len(series) == 2
+            assert series[1] >= series[0] - 0.05  # allow small noise
+
+
+class TestFig12:
+    def test_all_combos_timed(self):
+        results = fig12_runtime.run(rounds=1)
+        for rows in results.values():
+            assert len(rows) == len(fig12_runtime.FIG12_COMBOS)
+            for row in rows:
+                assert row["Total(s)"] >= 0.0
+
+
+class TestFig13:
+    def test_pruning_identical_and_counted(self):
+        results = fig13_scaling.run(factors=(1, 2))
+        for rows in results.values():
+            for row in rows:
+                assert row["EAI evals (filtered)"] <= row["EAI evals (all)"]
+
+
+class TestFig14:
+    def test_human_panel_metrics(self):
+        results = fig14_human.run(rounds=2)
+        for data in results.values():
+            for metric in ("accuracy", "gen_accuracy", "avg_distance"):
+                assert set(data[metric]) == {
+                    f"{i}+{a}" for i, a in fig14_human.COMBOS
+                }
+
+
+class TestFig17:
+    def test_heritages_only(self):
+        results = fig17_amt.run(rounds=2)
+        assert set(results) == {"Heritages"}
+
+
+class TestTable5:
+    def test_single_and_multi_rows(self):
+        results = table5_multitruth.run()
+        for rows in results.values():
+            kinds = {r["Kind"] for r in rows}
+            assert kinds == {"Single", "Multi"}
+            for row in rows:
+                assert 0.0 <= row["Precision"] <= 1.0
+                assert 0.0 <= row["Recall"] <= 1.0
+
+
+class TestTable6:
+    def test_three_attributes_six_algorithms(self):
+        results = table6_numeric.run()
+        assert set(results) == {"change_rate", "open_price", "eps"}
+        for rows in results.values():
+            assert {r["Algorithm"] for r in rows} == {
+                "TDH", "LCA", "CRH", "VOTE", "CATD", "MEAN",
+            }
+
+
+class TestFormatting:
+    def test_format_table_renders_floats_and_dashes(self):
+        text = common.format_table(
+            [{"A": 0.5, "B": "-"}], ["A", "B"], title="T"
+        )
+        assert "T" in text and "0.5000" in text and "-" in text
+
+    def test_format_series(self):
+        text = common.format_series({"x": [1.0, 2.0]}, [0, 1])
+        assert "Round" in text and "1.0000" in text

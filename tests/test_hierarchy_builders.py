@@ -1,0 +1,80 @@
+"""Unit tests for hierarchy builders."""
+
+import pytest
+
+from repro.hierarchy import (
+    HierarchyError,
+    from_child_parent_edges,
+    from_location_strings,
+    from_parent_map,
+    from_paths,
+)
+
+
+class TestFromPaths:
+    def test_basic(self):
+        h = from_paths([["USA", "California", "LA"], ["USA", "NY"]])
+        assert h.parent("LA") == "California"
+        assert h.parent("NY") == "USA"
+
+    def test_shared_prefix_merges(self):
+        h = from_paths([["USA", "CA"], ["USA", "NY"]])
+        assert len(h) == 4  # root, USA, CA, NY
+
+    def test_custom_root(self):
+        h = from_paths([["USA"]], root="Earth")
+        assert h.root == "Earth"
+        assert h.parent("USA") == "Earth"
+
+    def test_empty_input(self):
+        h = from_paths([])
+        assert len(h) == 1
+
+
+class TestFromLocationStrings:
+    def test_most_specific_first(self):
+        h = from_location_strings(["LA, California, USA"])
+        assert h.parent("LA") == "California"
+        assert h.parent("California") == "USA"
+        assert h.depth("USA") == 1
+
+    def test_whitespace_stripped(self):
+        h = from_location_strings(["  LA ,  California ,USA  "])
+        assert "LA" in h and "California" in h
+
+    def test_empty_segments_dropped(self):
+        h = from_location_strings(["LA,,USA"])
+        assert h.parent("LA") == "USA"
+
+    def test_blank_string_ignored(self):
+        h = from_location_strings(["", " , "])
+        assert len(h) == 1
+
+    def test_custom_separator(self):
+        h = from_location_strings(["LA/California/USA"], separator="/")
+        assert h.parent("LA") == "California"
+
+    def test_consistent_multiple_strings(self):
+        h = from_location_strings(
+            ["LA, California, USA", "SF, California, USA", "NYC, NY, USA"]
+        )
+        assert set(h.children("California")) == {"LA", "SF"}
+        assert h.parent("NYC") == "NY"
+
+
+class TestFromEdges:
+    def test_in_order_edges(self):
+        h = from_child_parent_edges([("USA", "__ROOT__"), ("CA", "USA")])
+        assert h.parent("CA") == "USA"
+
+    def test_out_of_order_edges_resolve(self):
+        h = from_child_parent_edges([("CA", "USA"), ("USA", "__ROOT__")])
+        assert h.parent("CA") == "USA"
+
+    def test_unreachable_parent_raises(self):
+        with pytest.raises(HierarchyError, match="unreachable"):
+            from_child_parent_edges([("CA", "USA")])  # USA never attached
+
+    def test_from_parent_map(self):
+        h = from_parent_map({"CA": "USA", "USA": "__ROOT__", "LA": "CA"})
+        assert h.ancestors("LA") == ["CA", "USA"]

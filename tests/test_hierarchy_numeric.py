@@ -1,0 +1,149 @@
+"""Unit and property tests for the implicit numeric (rounding) hierarchy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy import (
+    build_numeric_hierarchy,
+    is_rounding_ancestor,
+    round_to_significant,
+    rounding_chain,
+    significant_digits,
+)
+
+
+class TestSignificantDigits:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("605.196", 6),
+            ("605.2", 4),
+            ("605", 3),
+            ("605.20", 5),
+            ("0.00123", 3),
+            ("1", 1),
+            (605.2, 4),
+            (0.5, 1),
+        ],
+    )
+    def test_counts(self, value, expected):
+        assert significant_digits(value) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            significant_digits("not-a-number")
+
+
+class TestRoundToSignificant:
+    @pytest.mark.parametrize(
+        "value,ndigits,expected",
+        [
+            (605.196, 4, 605.2),
+            (605.196, 3, 605.0),
+            (605.196, 1, 600.0),
+            (0.00123, 2, 0.0012),
+            (-605.196, 4, -605.2),
+            (0.0, 3, 0.0),
+        ],
+    )
+    def test_values(self, value, ndigits, expected):
+        assert round_to_significant(value, ndigits) == pytest.approx(expected)
+
+    def test_ndigits_must_be_positive(self):
+        with pytest.raises(ValueError):
+            round_to_significant(1.0, 0)
+
+    def test_non_finite_passthrough(self):
+        assert math.isinf(round_to_significant(float("inf"), 3))
+
+    @given(st.floats(min_value=1e-6, max_value=1e9), st.integers(1, 10))
+    def test_idempotent(self, value, ndigits):
+        once = round_to_significant(value, ndigits)
+        assert round_to_significant(once, ndigits) == once
+
+
+class TestRoundingChain:
+    def test_paper_example(self):
+        # 605.196 km2 -> 605.2 -> 605 (the paper's Seoul-area example).
+        chain = rounding_chain(605.196, max_digits=6, min_digits=3)
+        assert chain == [605.196, 605.2, 605.0]
+
+    def test_most_specific_first(self):
+        chain = rounding_chain(123.456)
+        assert chain[0] == 123.456
+        assert chain[-1] == 100.0
+
+    def test_collapses_noop_roundings(self):
+        chain = rounding_chain(500.0)
+        assert len(chain) == len(set(chain))
+
+    def test_invalid_digit_range(self):
+        with pytest.raises(ValueError):
+            rounding_chain(1.0, max_digits=2, min_digits=3)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    @settings(max_examples=200)
+    def test_chain_is_strictly_coarsening(self, value):
+        chain = rounding_chain(value)
+        digits = [significant_digits(v) for v in chain]
+        # significant digits never increase along the chain
+        assert all(a >= b for a, b in zip(digits, digits[1:]))
+
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    @settings(max_examples=200)
+    def test_parent_is_function_of_child(self, value):
+        """A chain node's continuation must not depend on the original value
+        — otherwise merged chains would conflict."""
+        chain = rounding_chain(value)
+        for i, node in enumerate(chain[:-1]):
+            rebuilt = rounding_chain(node)
+            assert rebuilt[1:] == chain[i + 1 :] or rebuilt[0] == chain[i]
+            # The immediate parent must match exactly:
+            assert rebuilt[1] == chain[i + 1]
+
+
+class TestIsRoundingAncestor:
+    def test_direct_roundoff(self):
+        assert is_rounding_ancestor(605.2, 605.196)
+        assert is_rounding_ancestor(605.0, 605.196)
+
+    def test_not_self(self):
+        assert not is_rounding_ancestor(605.2, 605.2)
+
+    def test_not_reverse(self):
+        assert not is_rounding_ancestor(605.196, 605.2)
+
+    def test_unrelated(self):
+        assert not is_rounding_ancestor(123.0, 605.196)
+
+
+class TestBuildNumericHierarchy:
+    def test_chains_merge(self):
+        h, canonical = build_numeric_hierarchy([605.196, 605.241, 605.2])
+        assert h.is_ancestor(605.2, canonical[605.196])
+        assert h.is_ancestor(605.2, canonical[605.241])
+        assert canonical[605.2] == 605.2
+
+    def test_structure_is_valid_tree(self):
+        values = [1.234, 1.23, 12.34, 0.001234, 999.9, 1000.0, 0.5, 0.55]
+        h, _ = build_numeric_hierarchy(values)
+        h.validate()
+
+    def test_canonicalisation_beyond_max_digits(self):
+        h, canonical = build_numeric_hierarchy([605.19612, 605.19613], max_digits=6)
+        assert canonical[605.19612] == canonical[605.19613] == 605.196
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e5), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50)
+    def test_always_valid_tree(self, values):
+        h, canonical = build_numeric_hierarchy(values)
+        h.validate()
+        for value in values:
+            assert canonical[float(value)] in h

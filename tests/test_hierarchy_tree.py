@@ -1,0 +1,200 @@
+"""Unit tests for the hierarchy tree substrate."""
+
+import pytest
+
+from repro.hierarchy import Hierarchy, HierarchyError, ROOT, generalization_chain
+
+
+@pytest.fixture()
+def tree() -> Hierarchy:
+    h = Hierarchy()
+    h.add_path(["USA", "California", "LA", "Hollywood"])
+    h.add_path(["USA", "NY", "Liberty Island"])
+    h.add_path(["UK", "London"])
+    return h
+
+
+class TestConstruction:
+    def test_empty_hierarchy_has_only_root(self):
+        h = Hierarchy()
+        assert len(h) == 1
+        assert h.root == ROOT
+
+    def test_custom_root_label(self):
+        h = Hierarchy(root="Earth")
+        assert h.root == "Earth"
+        h.add_edge("USA", "Earth")
+        assert "USA" in h
+
+    def test_add_edge_attaches_child(self, tree):
+        assert "California" in tree
+        assert tree.parent("California") == "USA"
+
+    def test_add_edge_unknown_parent_raises(self):
+        h = Hierarchy()
+        with pytest.raises(HierarchyError, match="not in the hierarchy"):
+            h.add_edge("LA", "California")
+
+    def test_add_edge_duplicate_is_noop(self, tree):
+        before = len(tree)
+        tree.add_edge("California", "USA")
+        assert len(tree) == before
+
+    def test_add_edge_conflicting_parent_raises(self, tree):
+        with pytest.raises(HierarchyError, match="cannot move"):
+            tree.add_edge("California", "UK")
+
+    def test_root_cannot_be_child(self, tree):
+        with pytest.raises(HierarchyError, match="root cannot be a child"):
+            tree.add_edge(tree.root, "USA")
+
+    def test_add_path_reuses_prefix(self, tree):
+        size = len(tree)
+        tree.add_path(["USA", "California", "SF"])
+        assert len(tree) == size + 1
+        assert tree.parent("SF") == "California"
+
+    def test_add_path_conflicting_prefix_raises(self, tree):
+        with pytest.raises(HierarchyError, match="conflicting"):
+            tree.add_path(["UK", "California"])
+
+    def test_len_counts_root(self, tree):
+        # root + USA,California,LA,Hollywood,NY,Liberty Island,UK,London
+        assert len(tree) == 9
+
+
+class TestQueries:
+    def test_contains(self, tree):
+        assert "LA" in tree
+        assert "Tokyo" not in tree
+
+    def test_parent_of_root_is_none(self, tree):
+        assert tree.parent(tree.root) is None
+
+    def test_parent_unknown_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.parent("Tokyo")
+
+    def test_children(self, tree):
+        assert set(tree.children("USA")) == {"California", "NY"}
+        assert tree.children("Hollywood") == ()
+
+    def test_depth(self, tree):
+        assert tree.depth(tree.root) == 0
+        assert tree.depth("USA") == 1
+        assert tree.depth("Hollywood") == 4
+
+    def test_height(self, tree):
+        assert tree.height == 4
+
+    def test_height_of_empty_tree(self):
+        assert Hierarchy().height == 0
+
+    def test_iteration_yields_all_nodes(self, tree):
+        assert set(iter(tree)) == set(tree.nodes())
+        assert len(list(tree.nodes())) == len(tree)
+
+    def test_non_root_nodes_excludes_root(self, tree):
+        nodes = set(tree.non_root_nodes())
+        assert tree.root not in nodes
+        assert len(nodes) == len(tree) - 1
+
+
+class TestAncestry:
+    def test_ancestors_nearest_first(self, tree):
+        assert tree.ancestors("Hollywood") == ["LA", "California", "USA"]
+
+    def test_ancestors_exclude_root(self, tree):
+        assert tree.root not in tree.ancestors("Hollywood")
+        assert tree.ancestors("USA") == []
+
+    def test_ancestors_with_self(self, tree):
+        assert tree.ancestors_with_self("LA") == ["LA", "California", "USA"]
+
+    def test_is_ancestor_true(self, tree):
+        assert tree.is_ancestor("USA", "Hollywood")
+        assert tree.is_ancestor("California", "LA")
+
+    def test_is_ancestor_false_for_self(self, tree):
+        assert not tree.is_ancestor("LA", "LA")
+
+    def test_is_ancestor_false_for_root(self, tree):
+        assert not tree.is_ancestor(tree.root, "LA")
+
+    def test_is_ancestor_false_across_branches(self, tree):
+        assert not tree.is_ancestor("UK", "Hollywood")
+        assert not tree.is_ancestor("NY", "LA")
+
+    def test_is_ancestor_false_for_descendant(self, tree):
+        assert not tree.is_ancestor("Hollywood", "USA")
+
+    def test_is_ancestor_unknown_candidate(self, tree):
+        assert not tree.is_ancestor("Tokyo", "LA")
+
+    def test_is_descendant_mirrors_is_ancestor(self, tree):
+        assert tree.is_descendant("Hollywood", "USA")
+        assert not tree.is_descendant("USA", "Hollywood")
+
+    def test_descendants(self, tree):
+        assert set(tree.descendants("California")) == {"LA", "Hollywood"}
+        assert set(tree.descendants("USA")) == {
+            "California", "LA", "Hollywood", "NY", "Liberty Island",
+        }
+
+    def test_descendants_of_leaf_empty(self, tree):
+        assert tree.descendants("Hollywood") == []
+
+    def test_subtree_size(self, tree):
+        assert tree.subtree_size("Hollywood") == 1
+        assert tree.subtree_size("California") == 3
+
+    def test_generalization_chain(self, tree):
+        assert generalization_chain(tree, "LA") == ["LA", "California", "USA"]
+
+
+class TestDistance:
+    def test_distance_to_self_is_zero(self, tree):
+        assert tree.distance("LA", "LA") == 0
+
+    def test_distance_parent_child(self, tree):
+        assert tree.distance("LA", "California") == 1
+        assert tree.distance("California", "LA") == 1
+
+    def test_distance_within_branch(self, tree):
+        assert tree.distance("Hollywood", "USA") == 3
+
+    def test_distance_across_branches(self, tree):
+        # Hollywood -> ... -> USA -> root -> UK -> London
+        assert tree.distance("Hollywood", "London") == 6
+
+    def test_distance_siblings(self, tree):
+        assert tree.distance("California", "NY") == 2
+
+    def test_lowest_common_ancestor(self, tree):
+        assert tree.lowest_common_ancestor("Hollywood", "Liberty Island") == "USA"
+        assert tree.lowest_common_ancestor("LA", "Hollywood") == "LA"
+        assert tree.lowest_common_ancestor("USA", "UK") == tree.root
+
+    def test_distance_unknown_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.distance("Tokyo", "LA")
+
+    def test_path_to_root(self, tree):
+        assert tree.path_to_root("LA") == ["LA", "California", "USA", tree.root]
+        assert tree.path_to_root(tree.root) == [tree.root]
+
+
+class TestStructure:
+    def test_leaves(self, tree):
+        assert set(tree.leaves()) == {"Hollywood", "Liberty Island", "London"}
+
+    def test_validate_passes_on_wellformed(self, tree):
+        tree.validate()  # should not raise
+
+    def test_validate_detects_orphans(self, tree):
+        # Corrupt internals deliberately: node with unreachable parent.
+        tree._children["Ghost"] = []
+        tree._parent["Ghost"] = "Nowhere"
+        tree._depth["Ghost"] = 1
+        with pytest.raises(HierarchyError, match="unreachable"):
+            tree.validate()

@@ -1,0 +1,101 @@
+"""End-to-end integration tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CrowdSimulator,
+    EAIAssigner,
+    MaxEntropyAssigner,
+    QascaAssigner,
+    TDHModel,
+    Vote,
+    load_dataset,
+    make_worker_pool,
+)
+from repro.eval import evaluate, evaluate_multitruth, single_truth_as_sets
+
+
+class TestFullPipeline:
+    def test_public_api_workflow(self):
+        """The README / DESIGN.md §6 workflow must run end to end."""
+        ds = load_dataset("birthplaces", size=150, seed=7)
+        model = TDHModel(max_iter=20, tol=1e-4)
+        result = model.fit(ds)
+        truths = result.truths()
+        assert len(truths) == 150
+
+        sim = CrowdSimulator(
+            ds, TDHModel(max_iter=15, tol=1e-4), EAIAssigner(),
+            make_worker_pool(6, pi_p=0.8, seed=1), seed=2,
+        )
+        history = sim.run(rounds=4, tasks_per_worker=4)
+        assert history.final.accuracy >= history.records[0].accuracy - 0.02
+
+    def test_crowdsourcing_beats_no_crowdsourcing(self):
+        ds = load_dataset("birthplaces", size=200, seed=9)
+        sim = CrowdSimulator(
+            ds, TDHModel(max_iter=20, tol=1e-4), EAIAssigner(),
+            make_worker_pool(10, pi_p=0.9, seed=1), seed=2,
+        )
+        history = sim.run(rounds=10, tasks_per_worker=5)
+        assert history.final.accuracy > history.records[0].accuracy
+
+    def test_tdh_eai_at_least_matches_tdh_me(self):
+        """The paper's headline: EAI spends the budget better than ME."""
+        ds = load_dataset("birthplaces", size=250, seed=13)
+        finals = {}
+        for assigner in (EAIAssigner(), MaxEntropyAssigner()):
+            sim = CrowdSimulator(
+                ds, TDHModel(max_iter=20, tol=1e-4), assigner,
+                make_worker_pool(10, pi_p=0.75, seed=3), seed=5,
+            )
+            history = sim.run(rounds=10, tasks_per_worker=5)
+            finals[assigner.name] = history.final.accuracy
+        assert finals["EAI"] >= finals["ME"] - 0.01
+
+    def test_multitruth_pipeline(self):
+        ds = load_dataset("heritages", size=100, n_sources=120, seed=11)
+        result = TDHModel(max_iter=20, tol=1e-4).fit(ds)
+        sets = single_truth_as_sets(ds, result.truths())
+        report = evaluate_multitruth(ds, sets)
+        assert report.f1 > 0.5
+
+    def test_vote_with_workers_in_simulator(self):
+        ds = load_dataset("heritages", size=80, n_sources=100, seed=11)
+        sim = CrowdSimulator(
+            ds, Vote(), QascaAssigner(seed=1), make_worker_pool(5, seed=1), seed=2
+        )
+        history = sim.run(rounds=3, tasks_per_worker=3)
+        assert len(history.records) == 4
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_algorithms_agree_on_unanimous_data(self):
+        """When every source says the same thing, everyone must return it."""
+        from repro import (
+            Accu, Asums, Crh, Docs, GuessLca, Hierarchy, Lfc, Mdc, PopAccu,
+            Record, TruthDiscoveryDataset,
+        )
+
+        h = Hierarchy()
+        h.add_path(["X", "Y", "Z"])
+        records = [
+            Record(f"o{i}", f"s{j}", "Z") for i in range(5) for j in range(4)
+        ]
+        ds = TruthDiscoveryDataset(h, records)
+        algorithms = [
+            TDHModel(max_iter=10), Vote(), Accu(max_iter=5), PopAccu(max_iter=5),
+            Lfc(max_iter=5), Crh(max_iter=5), GuessLca(max_iter=5),
+            Asums(max_iter=5), Mdc(max_iter=5), Docs(max_iter=5),
+        ]
+        for algo in algorithms:
+            truths = algo.fit(ds).truths()
+            assert all(v == "Z" for v in truths.values()), algo.name
+
+    def test_evaluation_consistent_across_reports(self):
+        ds = load_dataset("birthplaces", size=120, seed=7)
+        result = TDHModel(max_iter=15, tol=1e-4).fit(ds)
+        report = evaluate(ds, result.truths())
+        assert 0.0 <= report.accuracy <= report.gen_accuracy <= 1.0
+        assert report.avg_distance >= 0.0

@@ -1,0 +1,99 @@
+"""Tests for the multi-attribute extension (repro.core.multi_attribute)."""
+
+import pytest
+
+from repro import Hierarchy, Record, TruthDiscoveryDataset, Vote
+from repro.core import MultiAttributeTruthDiscovery, TDHModel
+
+
+@pytest.fixture()
+def attribute_datasets():
+    """Two attributes of the same celebrities: birthplace and residence."""
+    geo = Hierarchy()
+    geo.add_path(["USA", "NY", "NYC"])
+    geo.add_path(["USA", "LA"])
+    geo.add_path(["UK", "London"])
+
+    birth = TruthDiscoveryDataset(
+        geo,
+        [
+            Record("alice", "s1", "NYC"),
+            Record("alice", "s2", "NY"),
+            Record("bob", "s1", "London"),
+            Record("bob", "s2", "London"),
+        ],
+        gold={"alice": "NYC", "bob": "London"},
+        name="birthplace",
+    )
+    residence = TruthDiscoveryDataset(
+        geo,
+        [
+            Record("alice", "s1", "LA"),
+            Record("alice", "s3", "LA"),
+            Record("bob", "s2", "NYC"),
+        ],
+        gold={"alice": "LA", "bob": "NYC"},
+        name="residence",
+    )
+    return {"birthplace": birth, "residence": residence}
+
+
+class TestFit:
+    def test_fits_all_attributes(self, attribute_datasets):
+        result = MultiAttributeTruthDiscovery().fit(attribute_datasets)
+        assert set(result.attributes) == {"birthplace", "residence"}
+
+    def test_truth_per_attribute(self, attribute_datasets):
+        result = MultiAttributeTruthDiscovery().fit(attribute_datasets)
+        assert result.truth("birthplace", "alice") == "NYC"
+        assert result.truth("residence", "alice") == "LA"
+
+    def test_truths_keyed_by_pair(self, attribute_datasets):
+        result = MultiAttributeTruthDiscovery().fit(attribute_datasets)
+        truths = result.truths()
+        assert truths[("birthplace", "bob")] == "London"
+        assert len(truths) == 4
+
+    def test_record_fuses_across_attributes(self, attribute_datasets):
+        result = MultiAttributeTruthDiscovery().fit(attribute_datasets)
+        assert result.record("alice") == {"birthplace": "NYC", "residence": "LA"}
+
+    def test_custom_model_factory(self, attribute_datasets):
+        result = MultiAttributeTruthDiscovery(model_factory=Vote).fit(
+            attribute_datasets
+        )
+        assert result.truth("birthplace", "bob") == "London"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAttributeTruthDiscovery().fit({})
+
+
+class TestAssign:
+    def test_budget_respected_across_attributes(self, attribute_datasets):
+        discovery = MultiAttributeTruthDiscovery()
+        result = discovery.fit(attribute_datasets)
+        assignment = discovery.assign(attribute_datasets, result, ["w0", "w1"], 2)
+        assert set(assignment) == {"w0", "w1"}
+        for tasks in assignment.values():
+            assert len(tasks) <= 2
+            for attribute, obj in tasks:
+                assert attribute in attribute_datasets
+                assert obj in attribute_datasets[attribute].objects
+
+    def test_no_pair_assigned_twice(self, attribute_datasets):
+        discovery = MultiAttributeTruthDiscovery()
+        result = discovery.fit(attribute_datasets)
+        assignment = discovery.assign(attribute_datasets, result, ["w0", "w1"], 3)
+        flat = [pair for tasks in assignment.values() for pair in tasks]
+        assert len(flat) == len(set(flat))
+
+    def test_requires_tdh(self, attribute_datasets):
+        discovery = MultiAttributeTruthDiscovery(model_factory=Vote)
+        result = discovery.fit(attribute_datasets)
+        with pytest.raises(TypeError):
+            discovery.assign(attribute_datasets, result, ["w0"], 1)
+
+    def test_uses_tdh_by_default(self, attribute_datasets):
+        discovery = MultiAttributeTruthDiscovery()
+        assert isinstance(discovery.model_factory(), TDHModel)

@@ -1,0 +1,96 @@
+"""Tests for the numeric algorithms (CATD, MEAN, CRH-numeric; Table 6)."""
+
+import numpy as np
+import pytest
+
+from repro import Catd, Mean, TDHModel
+from repro.inference import CrhNumeric, Median
+from repro.datasets import claims_to_dataset, make_stock_claims
+from repro.eval import evaluate_numeric
+
+
+@pytest.fixture(scope="module")
+def clean_claims():
+    """Three sources, no outliers: everyone near the truth."""
+    return {
+        "a": {"s1": 10.0, "s2": 10.2, "s3": 9.8},
+        "b": {"s1": 5.0, "s2": 5.1, "s3": 4.9},
+    }
+
+
+@pytest.fixture(scope="module")
+def outlier_claims():
+    """One source reports a decimal-shift outlier on every object."""
+    return {
+        f"o{i}": {"s1": 10.0 + i, "s2": 10.0 + i, "s3": 10.1 + i, "bad": (10.0 + i) * 100}
+        for i in range(10)
+    }
+
+
+class TestMean:
+    def test_exact_on_clean_symmetric_data(self, clean_claims):
+        estimates = Mean().fit(clean_claims)
+        assert estimates["a"] == pytest.approx(10.0, abs=1e-9)
+        assert estimates["b"] == pytest.approx(5.0, abs=1e-9)
+
+    def test_dragged_by_outliers(self, outlier_claims):
+        estimates = Mean().fit(outlier_claims)
+        assert estimates["o0"] > 100  # pulled far from 10
+
+    def test_median_robust(self, outlier_claims):
+        estimates = Median().fit(outlier_claims)
+        assert estimates["o0"] == pytest.approx(10.0, abs=0.2)
+
+
+class TestCatd:
+    def test_close_on_clean_data(self, clean_claims):
+        estimates = Catd().fit(clean_claims)
+        assert estimates["a"] == pytest.approx(10.0, abs=0.3)
+
+    def test_downweights_consistently_bad_source(self, outlier_claims):
+        catd = Catd().fit(outlier_claims)
+        mean = Mean().fit(outlier_claims)
+        truth = 10.0
+        assert abs(catd["o0"] - truth) < abs(mean["o0"] - truth)
+
+    def test_weights_exposed_and_positive(self, outlier_claims):
+        algo = Catd()
+        algo.fit(outlier_claims)
+        assert all(w >= 0 for w in algo.weights.values())
+        # The outlier source must get (much) less weight than the good ones.
+        assert algo.weights["bad"] < algo.weights["s1"]
+
+
+class TestCrhNumeric:
+    def test_close_on_clean_data(self, clean_claims):
+        estimates = CrhNumeric().fit(clean_claims)
+        assert estimates["a"] == pytest.approx(10.0, abs=0.3)
+
+    def test_weight_reduces_outlier_influence(self, outlier_claims):
+        crh = CrhNumeric().fit(outlier_claims)
+        mean = Mean().fit(outlier_claims)
+        assert abs(crh["o0"] - 10.0) <= abs(mean["o0"] - 10.0)
+
+
+class TestStockIntegration:
+    def test_tdh_beats_averagers_on_stock(self):
+        claims, gold = make_stock_claims("eps", n_objects=80, seed=23)
+        dataset = claims_to_dataset(claims, gold)
+        tdh = TDHModel(max_iter=20, tol=1e-4).fit(dataset)
+        tdh_report = evaluate_numeric(
+            {obj: float(v) for obj, v in tdh.truths().items()}, gold
+        )
+        mean_report = evaluate_numeric(Mean().fit(claims), gold)
+        catd_report = evaluate_numeric(Catd().fit(claims), gold)
+        assert tdh_report.mae < mean_report.mae
+        assert tdh_report.mae < catd_report.mae
+
+    def test_selection_immune_to_scale_outliers(self):
+        claims, gold = make_stock_claims("open_price", n_objects=60, seed=5)
+        dataset = claims_to_dataset(claims, gold)
+        tdh = TDHModel(max_iter=20, tol=1e-4).fit(dataset)
+        report = evaluate_numeric(
+            {obj: float(v) for obj, v in tdh.truths().items()}, gold
+        )
+        # Relative error stays tiny despite 10x/100x outliers in the claims.
+        assert report.relative_error < 0.05

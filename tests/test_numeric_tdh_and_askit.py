@@ -1,0 +1,92 @@
+"""Tests for the NumericTdh wrapper and the AskIt assigner."""
+
+import pytest
+
+from repro import AskItAssigner, TDHModel, make_birthplaces
+from repro.datasets import make_stock_claims
+from repro.eval import evaluate_numeric
+from repro.inference import NumericTdh
+
+
+class TestNumericTdh:
+    def test_fit_returns_float_truths(self):
+        claims, gold = make_stock_claims("eps", n_objects=40, seed=3)
+        estimates = NumericTdh().fit(claims)
+        assert set(estimates) == set(claims)
+        assert all(isinstance(v, float) for v in estimates.values())
+
+    def test_truths_are_claimed_values(self):
+        claims, _ = make_stock_claims("eps", n_objects=30, seed=3)
+        ntdh = NumericTdh(max_digits=4)
+        estimates = ntdh.fit(claims)
+        from repro.hierarchy import rounding_chain
+
+        for obj, estimate in estimates.items():
+            canonicals = set()
+            for claim in claims[obj].values():
+                canonicals.update(rounding_chain(float(claim), max_digits=4))
+            assert estimate in canonicals
+
+    def test_accuracy_close_to_truth(self):
+        claims, gold = make_stock_claims("open_price", n_objects=50, seed=3)
+        estimates = NumericTdh().fit(claims)
+        report = evaluate_numeric(estimates, gold)
+        assert report.relative_error < 0.05
+
+    def test_confidence_after_fit(self):
+        claims, _ = make_stock_claims("eps", n_objects=10, seed=3)
+        ntdh = NumericTdh()
+        ntdh.fit(claims)
+        obj = next(iter(claims))
+        confidence = ntdh.confidence(obj)
+        assert sum(confidence.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_confidence_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NumericTdh().confidence("x")
+
+    def test_empty_claims_rejected(self):
+        with pytest.raises(ValueError):
+            NumericTdh().fit({})
+
+    def test_custom_model(self):
+        claims, _ = make_stock_claims("eps", n_objects=10, seed=3)
+        ntdh = NumericTdh(model=TDHModel(max_iter=3, tol=1e-2))
+        assert len(ntdh.fit(claims)) == 10
+
+
+class TestAskIt:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        dataset = make_birthplaces(size=100, seed=7)
+        return dataset, TDHModel(max_iter=15, tol=1e-4).fit(dataset)
+
+    def test_respects_k(self, fitted):
+        dataset, result = fitted
+        assignment = AskItAssigner().assign(dataset, result, ["w0", "w1"], 3)
+        assert all(len(tasks) <= 3 for tasks in assignment.values())
+
+    def test_no_duplicates_by_default(self, fitted):
+        dataset, result = fitted
+        assignment = AskItAssigner().assign(dataset, result, ["w0", "w1"], 4)
+        flat = [obj for tasks in assignment.values() for obj in tasks]
+        assert len(flat) == len(set(flat))
+
+    def test_duplicates_allowed_when_enabled(self, fitted):
+        dataset, result = fitted
+        assignment = AskItAssigner(allow_duplicates=True).assign(
+            dataset, result, ["w0", "w1"], 1
+        )
+        # Both workers get the single most uncertain object.
+        assert assignment["w0"] == assignment["w1"]
+
+    def test_picks_most_uncertain_per_worker(self, fitted):
+        from repro.assignment.entropy import confidence_entropy
+
+        dataset, result = fitted
+        assignment = AskItAssigner().assign(dataset, result, ["w0"], 1)
+        chosen_entropy = confidence_entropy(result.confidences[assignment["w0"][0]])
+        max_entropy = max(
+            confidence_entropy(v) for v in result.confidences.values()
+        )
+        assert chosen_entropy == pytest.approx(max_entropy)

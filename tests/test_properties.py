@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Hierarchy, Record, TDHModel, TruthDiscoveryDataset, Vote
+# (random_hierarchy builds trees directly via Hierarchy.add_edge)
+from repro.inference._structures import build_structure
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def random_hierarchy(draw):
+    """A random tree: node ``n_i`` gets a parent among ``n_0 .. n_{i-1}`` or
+    the root, which is always structurally valid."""
+    n_nodes = draw(st.integers(2, 12))
+    hierarchy = Hierarchy()
+    for i in range(n_nodes):
+        parent_index = draw(st.integers(-1, i - 1))
+        parent = hierarchy.root if parent_index < 0 else f"n{parent_index}"
+        hierarchy.add_edge(f"n{i}", parent)
+    return hierarchy
+
+
+@st.composite
+def random_dataset(draw):
+    """A random dataset over a random hierarchy (1-6 objects, 2-5 sources)."""
+    hierarchy = draw(random_hierarchy())
+    nodes = [n for n in hierarchy.non_root_nodes()]
+    n_objects = draw(st.integers(1, 6))
+    n_sources = draw(st.integers(2, 5))
+    records = []
+    for i in range(n_objects):
+        claiming = draw(
+            st.lists(
+                st.integers(0, n_sources - 1), min_size=1, max_size=n_sources,
+                unique=True,
+            )
+        )
+        for s in claiming:
+            value = draw(st.sampled_from(nodes))
+            records.append(Record(f"o{i}", f"s{s}", value))
+    return TruthDiscoveryDataset(hierarchy, records)
+
+
+# ---------------------------------------------------------------------------
+# hierarchy properties
+# ---------------------------------------------------------------------------
+class TestHierarchyProperties:
+    @given(random_hierarchy())
+    @settings(max_examples=60)
+    def test_always_valid(self, hierarchy):
+        hierarchy.validate()
+
+    @given(random_hierarchy())
+    @settings(max_examples=60)
+    def test_depth_consistent_with_parent(self, hierarchy):
+        for node in hierarchy.non_root_nodes():
+            parent = hierarchy.parent(node)
+            assert hierarchy.depth(node) == hierarchy.depth(parent) + 1
+
+    @given(random_hierarchy())
+    @settings(max_examples=60)
+    def test_distance_is_metric(self, hierarchy):
+        nodes = list(hierarchy.nodes())[:6]
+        for u in nodes:
+            assert hierarchy.distance(u, u) == 0
+            for v in nodes:
+                assert hierarchy.distance(u, v) == hierarchy.distance(v, u)
+                for w in nodes:
+                    assert (
+                        hierarchy.distance(u, w)
+                        <= hierarchy.distance(u, v) + hierarchy.distance(v, w)
+                    )
+
+    @given(random_hierarchy())
+    @settings(max_examples=60)
+    def test_ancestors_are_transitive(self, hierarchy):
+        for node in hierarchy.non_root_nodes():
+            for anc in hierarchy.ancestors(node):
+                for anc2 in hierarchy.ancestors(anc):
+                    assert hierarchy.is_ancestor(anc2, node)
+
+    @given(random_hierarchy())
+    @settings(max_examples=60)
+    def test_descendants_inverse_of_ancestors(self, hierarchy):
+        for node in hierarchy.non_root_nodes():
+            for desc in hierarchy.descendants(node):
+                assert node in hierarchy.ancestors(desc) or node == hierarchy.root
+
+
+# ---------------------------------------------------------------------------
+# EM invariants
+# ---------------------------------------------------------------------------
+class TestInferenceProperties:
+    @given(random_dataset())
+    @settings(max_examples=30, deadline=None)
+    def test_tdh_confidences_always_distributions(self, dataset):
+        result = TDHModel(max_iter=10, tol=1e-4).fit(dataset)
+        for obj in dataset.objects:
+            vec = result.confidences[obj]
+            assert np.all(vec >= -1e-12)
+            assert vec.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @given(random_dataset())
+    @settings(max_examples=30, deadline=None)
+    def test_tdh_phi_always_distribution(self, dataset):
+        result = TDHModel(max_iter=10, tol=1e-4).fit(dataset)
+        for source in dataset.sources:
+            phi = np.asarray(result.source_trustworthiness(source))
+            assert np.all(phi >= 0)
+            assert phi.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @given(random_dataset())
+    @settings(max_examples=30, deadline=None)
+    def test_truth_always_a_candidate(self, dataset):
+        result = TDHModel(max_iter=10, tol=1e-4).fit(dataset)
+        for obj, value in result.truths().items():
+            assert value in dataset.candidates(obj)
+
+    @given(random_dataset())
+    @settings(max_examples=30, deadline=None)
+    def test_vote_truth_has_max_count(self, dataset):
+        result = Vote().fit(dataset)
+        for obj in dataset.objects:
+            counts = {}
+            for value in dataset.records_for(obj).values():
+                counts[value] = counts.get(value, 0) + 1
+            assert counts[result.truth(obj)] == max(counts.values())
+
+    @given(random_dataset())
+    @settings(max_examples=30, deadline=None)
+    def test_structure_likelihoods_bounded(self, dataset):
+        phi = np.array([0.5, 0.3, 0.2])
+        for obj in dataset.objects:
+            structure = build_structure(dataset, obj)
+            L = structure.source_likelihood(phi)
+            assert np.all(L >= -1e-12)
+            assert np.all(L <= 1.0 + 1e-9)
+            Lw = structure.worker_likelihood(phi)
+            assert np.all(Lw >= -1e-12)
+            assert np.all(Lw <= 1.0 + 1e-9)
+
+    @given(random_dataset(), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_eai_upper_bound_property(self, dataset, seed):
+        """Lemma 4.1 holds for random datasets and random worker psi."""
+        from repro import EAIAssigner
+
+        rng = np.random.default_rng(seed)
+        psi = rng.dirichlet([2.0, 2.0, 2.0])
+        result = TDHModel(max_iter=8, tol=1e-4).fit(dataset)
+        assigner = EAIAssigner()
+        for obj in dataset.objects:
+            assert assigner.eai(result, obj, psi) <= assigner.ueai(result, obj) + 1e-12

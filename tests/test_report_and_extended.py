@@ -1,0 +1,65 @@
+"""Tests for the JSON report exporter and the extended Table-3 experiment."""
+
+import json
+
+import pytest
+
+import repro.experiments.common as common
+from repro.experiments import table3_extended
+from repro.experiments.report import export_json, run_experiments
+
+TINY = common.ExperimentScale(
+    birthplaces_size=60,
+    heritages_size=50,
+    heritages_sources=60,
+    rounds=2,
+    workers=3,
+    tasks_per_worker=2,
+    em_iterations=5,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(common, "FAST", TINY)
+
+
+class TestExtendedTable3:
+    def test_seventeen_algorithms(self):
+        results = table3_extended.run()
+        for rows in results.values():
+            assert len(rows) == 17
+            names = {r["Algorithm"] for r in rows}
+            assert {"TDH", "SUMS", "TRUTHFINDER", "DS", "ZENCROWD"} <= names
+
+    def test_rows_sorted_by_accuracy(self):
+        results = table3_extended.run()
+        for rows in results.values():
+            accuracies = [r["Accuracy"] for r in rows]
+            assert accuracies == sorted(accuracies, reverse=True)
+
+
+class TestRunExperiments:
+    def test_selected_subset(self):
+        results = run_experiments(["fig1"])
+        assert set(results) == {"fig1"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            run_experiments(["nope"])
+
+
+class TestExportJson:
+    def test_report_written_and_parseable(self, tmp_path):
+        path = tmp_path / "report.json"
+        report = export_json(path, names=["fig1", "table3"])
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["scale"]["birthplaces_size"] == TINY.birthplaces_size
+        assert set(loaded["results"]) == {"fig1", "table3"}
+        assert loaded["results"] == json.loads(json.dumps(report["results"]))
+
+    def test_report_includes_full_flag(self, tmp_path):
+        path = tmp_path / "report.json"
+        export_json(path, names=["fig1"])
+        assert json.loads(path.read_text())["full"] is False

@@ -1,0 +1,67 @@
+"""Tests for the bootstrap significance helpers."""
+
+import pytest
+
+from repro import TDHModel, Vote, make_birthplaces
+from repro.eval import (
+    accuracy_interval,
+    paired_accuracy_difference,
+)
+from repro.eval.significance import BootstrapInterval
+
+
+@pytest.fixture(scope="module")
+def fitted_pair():
+    dataset = make_birthplaces(size=250, seed=7)
+    tdh = TDHModel(max_iter=20, tol=1e-4).fit(dataset).truths()
+    vote = Vote().fit(dataset).truths()
+    return dataset, tdh, vote
+
+
+class TestAccuracyInterval:
+    def test_estimate_within_bounds(self, fitted_pair):
+        dataset, tdh, _ = fitted_pair
+        interval = accuracy_interval(dataset, tdh, n_resamples=500)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert 0.0 <= interval.lower and interval.upper <= 1.0
+
+    def test_reproducible_with_seed(self, fitted_pair):
+        dataset, tdh, _ = fitted_pair
+        a = accuracy_interval(dataset, tdh, n_resamples=200, seed=1)
+        b = accuracy_interval(dataset, tdh, n_resamples=200, seed=1)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_wider_at_higher_confidence(self, fitted_pair):
+        dataset, tdh, _ = fitted_pair
+        narrow = accuracy_interval(dataset, tdh, confidence=0.8, n_resamples=800)
+        wide = accuracy_interval(dataset, tdh, confidence=0.99, n_resamples=800)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower) - 1e-9
+
+    def test_contains(self):
+        interval = BootstrapInterval(0.5, 0.4, 0.6, 0.95)
+        assert interval.contains(0.5)
+        assert not interval.contains(0.7)
+
+    def test_no_overlap_raises(self, fitted_pair):
+        dataset, _, _ = fitted_pair
+        with pytest.raises(ValueError):
+            accuracy_interval(dataset, {"ghost": "x"})
+
+
+class TestPairedDifference:
+    def test_tdh_vs_vote_positive(self, fitted_pair):
+        dataset, tdh, vote = fitted_pair
+        diff = paired_accuracy_difference(dataset, tdh, vote, n_resamples=800)
+        assert diff.estimate > 0.0  # TDH better on this dataset
+
+    def test_self_difference_is_zero(self, fitted_pair):
+        dataset, tdh, _ = fitted_pair
+        diff = paired_accuracy_difference(dataset, tdh, tdh, n_resamples=200)
+        assert diff.estimate == 0.0
+        assert diff.lower == 0.0 and diff.upper == 0.0
+
+    def test_antisymmetric(self, fitted_pair):
+        dataset, tdh, vote = fitted_pair
+        ab = paired_accuracy_difference(dataset, tdh, vote, n_resamples=400, seed=3)
+        ba = paired_accuracy_difference(dataset, vote, tdh, n_resamples=400, seed=3)
+        assert ab.estimate == pytest.approx(-ba.estimate)

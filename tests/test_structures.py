@@ -1,0 +1,186 @@
+"""Tests for the precomputed likelihood structures (Eq. 1-4 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchy, Record, TruthDiscoveryDataset
+from repro.inference._structures import StructureCache, build_structure
+
+
+@pytest.fixture()
+def oh_dataset() -> TruthDiscoveryDataset:
+    """Object with candidates NYC (2 claims), NY (ancestor, 1), LA (wrong, 1)."""
+    h = Hierarchy()
+    h.add_path(["USA", "NY", "NYC"])
+    h.add_path(["USA", "LA"])
+    records = [
+        Record("o", "s1", "NYC"),
+        Record("o", "s2", "NYC"),
+        Record("o", "s3", "NY"),
+        Record("o", "s4", "LA"),
+    ]
+    return TruthDiscoveryDataset(h, records)
+
+
+@pytest.fixture()
+def flat_dataset() -> TruthDiscoveryDataset:
+    """Object with no ancestor-descendant pair among candidates (not in OH)."""
+    h = Hierarchy()
+    h.add_path(["USA", "NY"])
+    h.add_path(["USA", "LA"])
+    h.add_path(["UK", "London"])
+    records = [
+        Record("o", "s1", "NY"),
+        Record("o", "s2", "LA"),
+        Record("o", "s3", "LA"),
+        Record("o", "s4", "London"),
+    ]
+    return TruthDiscoveryDataset(h, records)
+
+
+PHI = np.array([0.6, 0.3, 0.1])
+
+
+class TestSourceLikelihoodOH:
+    def test_column_sums(self, oh_dataset):
+        """Columns whose truth has candidate ancestors sum to 1; columns with
+        empty ``Go(v)`` are deficient by ``phi2`` — a property of the paper's
+        Eq. (1), which never renormalises."""
+        s = build_structure(oh_dataset, "o")
+        L = s.source_likelihood(PHI)
+        sums = L.sum(axis=0)
+        nyc, ny, la = s.index["NYC"], s.index["NY"], s.index["LA"]
+        assert sums[nyc] == pytest.approx(1.0)  # Go(NYC) = {NY}
+        assert sums[ny] == pytest.approx(PHI[0] + PHI[2])  # Go(NY) empty
+        assert sums[la] == pytest.approx(PHI[0] + PHI[2])
+
+    def test_exact_match_probability(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        L = s.source_likelihood(PHI)
+        i = s.index["NYC"]
+        assert L[i, i] == pytest.approx(PHI[0])
+
+    def test_generalized_probability_uniform_over_go(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        L = s.source_likelihood(PHI)
+        nyc, ny = s.index["NYC"], s.index["NY"]
+        # Go(NYC) = {NY}; claiming NY under truth NYC has probability phi2/1.
+        assert L[ny, nyc] == pytest.approx(PHI[1])
+
+    def test_wrong_probability_uniform_over_rest(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        L = s.source_likelihood(PHI)
+        nyc, la = s.index["NYC"], s.index["LA"]
+        # For truth NYC: |Vo|=3, |Go|=1 -> one wrong slot (LA): phi3/1.
+        assert L[la, nyc] == pytest.approx(PHI[2])
+
+    def test_truth_without_candidate_ancestors(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        L = s.source_likelihood(PHI)
+        la = s.index["LA"]
+        # Go(LA) empty -> case-2 column zero; wrong mass split over 2 others.
+        assert L[la, la] == pytest.approx(PHI[0])
+        assert L[s.index["NYC"], la] == pytest.approx(PHI[2] / 2)
+        assert L[s.index["NY"], la] == pytest.approx(PHI[2] / 2)
+
+    def test_likelihood_row_matches_matrix(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        L = s.source_likelihood(PHI)
+        for u in range(s.size):
+            np.testing.assert_allclose(s.source_likelihood_row(u, PHI), L[u])
+
+
+class TestSourceLikelihoodFlat:
+    def test_exact_match_absorbs_phi2(self, flat_dataset):
+        """Eq. (2): outside OH, P(exact) = phi1 + phi2."""
+        s = build_structure(flat_dataset, "o")
+        L = s.source_likelihood(PHI)
+        for i in range(s.size):
+            assert L[i, i] == pytest.approx(PHI[0] + PHI[1])
+
+    def test_wrong_uniform(self, flat_dataset):
+        s = build_structure(flat_dataset, "o")
+        L = s.source_likelihood(PHI)
+        ny, la = s.index["NY"], s.index["LA"]
+        assert L[la, ny] == pytest.approx(PHI[2] / 2)
+
+    def test_columns_sum_to_one(self, flat_dataset):
+        s = build_structure(flat_dataset, "o")
+        L = s.source_likelihood(PHI)
+        np.testing.assert_allclose(L.sum(axis=0), 1.0)
+
+
+class TestWorkerLikelihood:
+    def test_pop3_weights_by_source_counts(self, flat_dataset):
+        """Eq. (4): wrong answers follow source popularity, not uniform."""
+        s = build_structure(flat_dataset, "o")
+        psi = np.array([0.7, 0.1, 0.2])
+        L = s.worker_likelihood(psi)
+        ny, la, london = s.index["NY"], s.index["LA"], s.index["London"]
+        # Under truth NY: wrong values are LA (2 source claims), London (1).
+        assert L[la, ny] == pytest.approx(psi[2] * 2 / 3)
+        assert L[london, ny] == pytest.approx(psi[2] * 1 / 3)
+
+    def test_pop2_weights_generalizations(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        psi = np.array([0.7, 0.2, 0.1])
+        L = s.worker_likelihood(psi)
+        nyc, ny = s.index["NYC"], s.index["NY"]
+        # Go(NYC)={NY} with 1 source claim out of 1 generalized claim -> Pop2=1.
+        assert L[ny, nyc] == pytest.approx(psi[1])
+
+    def test_worker_columns_sum_to_at_most_one(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        psi = np.array([0.7, 0.2, 0.1])
+        L = s.worker_likelihood(psi)
+        assert np.all(L.sum(axis=0) <= 1.0 + 1e-9)
+
+    def test_likelihood_row_matches_matrix(self, oh_dataset):
+        s = build_structure(oh_dataset, "o")
+        psi = np.array([0.5, 0.3, 0.2])
+        L = s.worker_likelihood(psi)
+        for u in range(s.size):
+            np.testing.assert_allclose(s.worker_likelihood_row(u, psi), L[u])
+
+
+class TestAblationFlags:
+    def test_hierarchy_disabled_ignores_ancestors(self, oh_dataset):
+        s = build_structure(oh_dataset, "o", use_hierarchy=False)
+        assert not s.has_hierarchy
+        L = s.source_likelihood(PHI)
+        # Behaves like the flat Eq. (2) model even though NY is NYC's ancestor.
+        nyc = s.index["NYC"]
+        assert L[nyc, nyc] == pytest.approx(PHI[0] + PHI[1])
+
+    def test_popularity_disabled_matches_source_model(self, oh_dataset):
+        s = build_structure(oh_dataset, "o", use_popularity=False)
+        np.testing.assert_allclose(s.worker_case2, s.source_case2)
+        np.testing.assert_allclose(s.worker_case3, s.source_case3)
+
+
+class TestStructureCache:
+    def test_cache_returns_same_object(self, oh_dataset):
+        cache = StructureCache(oh_dataset)
+        assert cache.get("o") is cache.get("o")
+
+    def test_invalidate_single(self, oh_dataset):
+        cache = StructureCache(oh_dataset)
+        first = cache.get("o")
+        cache.invalidate("o")
+        assert cache.get("o") is not first
+
+    def test_invalidate_all(self, oh_dataset):
+        cache = StructureCache(oh_dataset)
+        first = cache.get("o")
+        cache.invalidate()
+        assert cache.get("o") is not first
+
+    def test_cache_respects_flags(self, oh_dataset):
+        cache = StructureCache(oh_dataset, use_hierarchy=False)
+        assert not cache.get("o").has_hierarchy
+
+    def test_counts_are_source_claims(self, oh_dataset):
+        s = StructureCache(oh_dataset).get("o")
+        assert s.counts[s.index["NYC"]] == 2
+        assert s.counts[s.index["NY"]] == 1
+        assert s.counts.sum() == 4

@@ -1,0 +1,189 @@
+"""Tests for the TDH inference EM (the paper's core contribution)."""
+
+import numpy as np
+import pytest
+
+from repro import Answer, Hierarchy, Record, TDHModel, TruthDiscoveryDataset, Vote
+from repro.eval import evaluate
+
+
+class TestConstruction:
+    def test_default_hyperparameters_match_paper(self):
+        model = TDHModel()
+        np.testing.assert_allclose(model.alpha, [3.0, 3.0, 2.0])
+        np.testing.assert_allclose(model.beta, [2.0, 2.0, 2.0])
+        assert model.gamma == 2.0
+
+    def test_alpha_must_have_three_components(self):
+        with pytest.raises(ValueError):
+            TDHModel(alpha=(1.0, 2.0))
+
+    def test_gamma_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TDHModel(gamma=0.5)
+
+
+class TestFitBasics:
+    def test_confidences_are_distributions(self, table1_dataset):
+        result = TDHModel().fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            vec = result.confidences[obj]
+            assert vec.shape == (len(table1_dataset.candidates(obj)),)
+            assert np.all(vec >= 0)
+            assert vec.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_trustworthiness_is_distribution(self, table1_dataset):
+        result = TDHModel().fit(table1_dataset)
+        for source in table1_dataset.sources:
+            phi = np.asarray(result.source_trustworthiness(source))
+            assert phi.shape == (3,)
+            assert np.all(phi >= 0)
+            assert phi.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_converges_on_small_data(self, table1_dataset):
+        result = TDHModel(max_iter=200).fit(table1_dataset)
+        assert result.converged
+        assert result.iterations < 200
+
+    def test_deterministic(self, table1_dataset):
+        r1 = TDHModel().fit(table1_dataset)
+        r2 = TDHModel().fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            np.testing.assert_allclose(r1.confidences[obj], r2.confidences[obj])
+
+    def test_numerators_denominators_consistent(self, table1_dataset):
+        """Eq. (9): mu = N / D must hold for the returned state."""
+        result = TDHModel().fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            np.testing.assert_allclose(
+                result.confidences[obj],
+                result.numerators[obj] / result.denominators[obj],
+                rtol=1e-6,
+            )
+
+    def test_truth_is_argmax(self, table1_dataset):
+        result = TDHModel().fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            ctx_values = table1_dataset.candidates(obj)
+            best = ctx_values[int(np.argmax(result.confidences[obj]))]
+            assert result.truth(obj) == best
+
+
+class TestPaperExample:
+    """The introduction's motivating example must come out right."""
+
+    def test_statue_of_liberty_resolves_to_liberty_island(self, table1_dataset):
+        result = TDHModel().fit(table1_dataset)
+        assert result.truth("Statue of Liberty") == "Liberty Island"
+
+    def test_big_ben_resolves_to_most_specific(self, table1_dataset):
+        result = TDHModel().fit(table1_dataset)
+        assert result.truth("Big Ben") == "Westminster"
+
+    def test_vote_fails_on_statue_of_liberty(self, table1_dataset):
+        # VOTE cannot use the hierarchy: NY and Liberty Island split the vote.
+        vote_truth = Vote().fit(table1_dataset).truth("Statue of Liberty")
+        assert vote_truth != "Liberty Island"
+
+
+class TestHierarchyAdvantage:
+    def test_beats_vote_on_birthplaces(self, small_birthplaces):
+        tdh = TDHModel(max_iter=40, tol=1e-4).fit(small_birthplaces)
+        vote = Vote().fit(small_birthplaces)
+        acc_tdh = evaluate(small_birthplaces, tdh.truths()).accuracy
+        acc_vote = evaluate(small_birthplaces, vote.truths()).accuracy
+        assert acc_tdh > acc_vote
+
+    def test_hierarchy_ablation_hurts(self, small_birthplaces):
+        """The three-interpretation model is the paper's central claim."""
+        full = TDHModel(max_iter=40, tol=1e-4).fit(small_birthplaces)
+        blind = TDHModel(max_iter=40, tol=1e-4, use_hierarchy=False).fit(
+            small_birthplaces
+        )
+        acc_full = evaluate(small_birthplaces, full.truths()).accuracy
+        acc_blind = evaluate(small_birthplaces, blind.truths()).accuracy
+        assert acc_full >= acc_blind
+
+    def test_generalizing_source_not_penalised(self):
+        """A source that always claims correct-but-general values must keep a
+        low phi3 (wrong probability) — the Figure 5 property."""
+        h = Hierarchy()
+        for i in range(30):
+            h.add_path([f"c{i}", f"r{i}", f"t{i}"])
+        records = []
+        for i in range(30):
+            records.append(Record(f"o{i}", "exact", f"t{i}"))
+            records.append(Record(f"o{i}", "exact2", f"t{i}"))
+            records.append(Record(f"o{i}", "generalizer", f"r{i}"))
+        ds = TruthDiscoveryDataset(h, records)
+        result = TDHModel().fit(ds)
+        phi = result.source_trustworthiness("generalizer")
+        assert phi[1] > 0.5  # recognised as a generalizer
+        assert phi[2] < 0.25  # not branded unreliable
+
+
+class TestWorkers:
+    def test_answers_shift_confidence(self, table1_dataset):
+        ds = table1_dataset.copy()
+        base = TDHModel().fit(ds)
+        for w in range(4):
+            ds.add_answer(Answer("Niagara Falls", f"w{w}", "LA"))
+        result = TDHModel().fit(ds)
+        la_conf = result.confidence("Niagara Falls")["LA"]
+        assert la_conf > base.confidence("Niagara Falls")["LA"]
+
+    def test_worker_trustworthiness_estimated(self, table1_dataset):
+        ds = table1_dataset.copy()
+        ds.add_answer(Answer("Statue of Liberty", "good", "Liberty Island"))
+        ds.add_answer(Answer("Big Ben", "good", "Westminster"))
+        ds.add_answer(Answer("Niagara Falls", "good", "NY"))
+        result = TDHModel().fit(ds)
+        psi = result.worker_trustworthiness("good")
+        assert psi[0] > 1.0 / 3.0  # better than prior mean
+
+    def test_worker_psi_falls_back_to_prior(self, table1_dataset):
+        result = TDHModel().fit(table1_dataset)
+        psi = result.worker_psi("unseen-worker")
+        np.testing.assert_allclose(psi, [1 / 3, 1 / 3, 1 / 3])
+
+    def test_warm_start_converges_faster(self, small_birthplaces):
+        model = TDHModel(max_iter=100, tol=1e-5)
+        cold = model.fit(small_birthplaces)
+        warm = model.fit(small_birthplaces, warm_start=cold)
+        assert warm.iterations <= cold.iterations
+
+    def test_structure_cache_reuse_gives_same_result(self, small_birthplaces):
+        model = TDHModel(max_iter=20, tol=1e-4)
+        cache = model.make_structure_cache(small_birthplaces)
+        r1 = model.fit(small_birthplaces, structures=cache)
+        r2 = model.fit(small_birthplaces, structures=cache)
+        for obj in small_birthplaces.objects:
+            np.testing.assert_allclose(r1.confidences[obj], r2.confidences[obj])
+
+
+class TestPriors:
+    def test_stronger_prior_pulls_phi_toward_mean(self, table1_dataset):
+        weak = TDHModel(alpha=(3, 3, 2)).fit(table1_dataset)
+        strong = TDHModel(alpha=(300, 300, 200)).fit(table1_dataset)
+        prior_mean = np.array([3, 3, 2]) / 8.0
+        for source in table1_dataset.sources:
+            weak_phi = np.asarray(weak.source_trustworthiness(source))
+            strong_phi = np.asarray(strong.source_trustworthiness(source))
+            assert np.abs(strong_phi - prior_mean).sum() <= (
+                np.abs(weak_phi - prior_mean).sum() + 1e-9
+            )
+
+    def test_gamma_one_is_flat_prior(self, table1_dataset):
+        result = TDHModel(gamma=1.0).fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            assert result.confidences[obj].sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSingleCandidateObjects:
+    def test_single_candidate_gets_full_confidence(self):
+        h = Hierarchy()
+        h.add_path(["USA", "NY"])
+        ds = TruthDiscoveryDataset(h, [Record("o", "s", "NY")])
+        result = TDHModel().fit(ds)
+        np.testing.assert_allclose(result.confidences["o"], [1.0])
+        assert result.truth("o") == "NY"

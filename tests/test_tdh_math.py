@@ -1,0 +1,170 @@
+"""Hand-computed verification of the TDH E-step and M-step (Figure 4, Eq. 9-11).
+
+A minimal instance small enough to work through on paper:
+
+hierarchy:  root > USA > NY > NYC ;  root > USA > LA
+object o:   claims  s1 -> NYC, s2 -> NY, s3 -> LA   (Vo = {NYC, NY, LA})
+            Go(NYC) = {NY}, Go(NY) = {}, Go(LA) = {}   => o in OH
+
+With mu = (0.5, 0.3, 0.2) over (NYC, NY, LA) and phi = (0.6, 0.3, 0.1) the
+E-step quantities for each record follow Eq. (1) and Figure 4 exactly; the
+test checks our implementation cell by cell against those numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchy, Record, TruthDiscoveryDataset
+from repro.inference._structures import build_structure
+
+PHI = np.array([0.6, 0.3, 0.1])
+MU = np.array([0.5, 0.3, 0.2])  # over (NYC, NY, LA)
+
+
+@pytest.fixture()
+def structure():
+    h = Hierarchy()
+    h.add_path(["USA", "NY", "NYC"])
+    h.add_path(["USA", "LA"])
+    ds = TruthDiscoveryDataset(
+        h,
+        [
+            Record("o", "s1", "NYC"),
+            Record("o", "s2", "NY"),
+            Record("o", "s3", "LA"),
+        ],
+    )
+    s = build_structure(ds, "o")
+    assert s.values == ["NYC", "NY", "LA"]
+    return s
+
+
+class TestLikelihoodByHand:
+    """P(claim | truth) per Eq. (1); |Vo| = 3 throughout."""
+
+    def test_claim_nyc(self, structure):
+        row = structure.source_likelihood_row(0, PHI)
+        # truth NYC: exact -> phi1 = 0.6
+        assert row[0] == pytest.approx(0.6)
+        # truth NY: NYC not in Go(NY) (it is a descendant) -> case 3.
+        #   wrong slots = |Vo| - |Go(NY)| - 1 = 3 - 0 - 1 = 2 -> 0.1/2 = 0.05
+        assert row[1] == pytest.approx(0.05)
+        # truth LA: same case-3 arithmetic -> 0.05
+        assert row[2] == pytest.approx(0.05)
+
+    def test_claim_ny(self, structure):
+        row = structure.source_likelihood_row(1, PHI)
+        # truth NYC: NY in Go(NYC), |Go(NYC)| = 1 -> phi2/1 = 0.3
+        assert row[0] == pytest.approx(0.3)
+        # truth NY: exact -> 0.6
+        assert row[1] == pytest.approx(0.6)
+        # truth LA: case 3 -> 0.1 / (3 - 0 - 1) = 0.05
+        assert row[2] == pytest.approx(0.05)
+
+    def test_claim_la(self, structure):
+        row = structure.source_likelihood_row(2, PHI)
+        # truth NYC: LA not in Go(NYC) -> 0.1 / (3 - 1 - 1) = 0.1
+        assert row[0] == pytest.approx(0.1)
+        # truth NY: 0.1 / 2 = 0.05
+        assert row[1] == pytest.approx(0.05)
+        # truth LA: exact -> 0.6
+        assert row[2] == pytest.approx(0.6)
+
+
+class TestEStepByHand:
+    """f and g per Figure 4 with mu = (0.5, 0.3, 0.2)."""
+
+    def test_f_for_claim_nyc(self, structure):
+        # joint = like * mu = (0.6*0.5, 0.05*0.3, 0.05*0.2) = (0.3, .015, .01)
+        # Z = 0.325 ;  f = (0.92307..., 0.04615..., 0.03076...)
+        row = structure.source_likelihood_row(0, PHI)
+        joint = row * MU
+        z = joint.sum()
+        assert z == pytest.approx(0.325)
+        f = joint / z
+        np.testing.assert_allclose(
+            f, [0.3 / 0.325, 0.015 / 0.325, 0.01 / 0.325], rtol=1e-12
+        )
+
+    def test_g_for_claim_ny(self, structure):
+        # claim NY: joint = (0.3*0.5, 0.6*0.3, 0.05*0.2) = (0.15, 0.18, 0.01)
+        # Z = 0.34
+        # g1 = phi1 * mu[NY] / Z = 0.6*0.3/0.34
+        # g2 = phi2 * sum_{v in Do(NY)} mu_v / |Go(v)| / Z = 0.3*(0.5/1)/0.34
+        # g3 = 1 - g1 - g2
+        row = structure.source_likelihood_row(1, PHI)
+        z = float(row @ MU)
+        assert z == pytest.approx(0.34)
+        g1 = PHI[0] * MU[1] / z
+        g2 = PHI[1] * float(structure.source_case2[1] @ MU) / z
+        assert g1 == pytest.approx(0.18 / 0.34)
+        assert g2 == pytest.approx(0.15 / 0.34)
+        assert g1 + g2 <= 1.0 + 1e-12
+
+    def test_g_sums_to_one_for_each_claim(self, structure):
+        for u in range(3):
+            row = structure.source_likelihood_row(u, PHI)
+            z = float(row @ MU)
+            g1 = PHI[0] * MU[u] / z
+            g2 = PHI[1] * float(structure.source_case2[u] @ MU) / z
+            g3_direct = PHI[2] * float(structure.source_case3[u] @ MU) / z
+            assert g1 + g2 + g3_direct == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMStepByHand:
+    def test_confidence_update_eq9(self):
+        """One EM sweep from a known initialisation, checked against Eq. (9).
+
+        With gamma = 2: mu_v = (sum_s f_{o,s}(v) + 1) / (|So| + |Vo|).
+        """
+        from repro import TDHModel
+
+        h = Hierarchy()
+        h.add_path(["USA", "NY", "NYC"])
+        h.add_path(["USA", "LA"])
+        ds = TruthDiscoveryDataset(
+            h,
+            [
+                Record("o", "s1", "NYC"),
+                Record("o", "s2", "NY"),
+                Record("o", "s3", "LA"),
+            ],
+        )
+        model = TDHModel(max_iter=1, tol=0.0)
+        result = model.fit(ds)
+
+        # Reproduce by hand: initial mu is the vote distribution (1/3 each);
+        # initial phi is the prior mean alpha/sum(alpha) = (.375, .375, .25).
+        structure = build_structure(ds, "o")
+        mu0 = np.array([1 / 3, 1 / 3, 1 / 3])
+        phi0 = np.array([3.0, 3.0, 2.0]) / 8.0
+        f_sum = np.zeros(3)
+        for u in (0, 1, 2):  # claims NYC, NY, LA by s1, s2, s3
+            row = structure.source_likelihood_row(u, phi0)
+            joint = row * mu0
+            f_sum += joint / joint.sum()
+        expected_mu = (f_sum + 1.0) / (3 + 3 * 1.0)
+        np.testing.assert_allclose(result.confidences["o"], expected_mu, rtol=1e-10)
+
+    def test_trust_update_eq10(self):
+        """phi update: (sum_o g + alpha - 1) / (|Os| + sum(alpha - 1))."""
+        from repro import TDHModel
+
+        h = Hierarchy()
+        h.add_edge("A", h.root)
+        h.add_edge("B", h.root)
+        ds = TruthDiscoveryDataset(
+            h, [Record("o1", "s", "A"), Record("o2", "s", "B")]
+        )
+        model = TDHModel(max_iter=1, tol=0.0)
+        result = model.fit(ds)
+        phi = np.asarray(result.source_trustworthiness("s"))
+        # Single-candidate objects: f = (1.0,), g = (g1, g2, 0) with
+        # g1 = phi1/(phi1+phi2), g2 = phi2/(phi1+phi2) at the prior mean.
+        phi0 = np.array([3.0, 3.0, 2.0]) / 8.0
+        g1 = phi0[0] / (phi0[0] + phi0[1])
+        g2 = phi0[1] / (phi0[0] + phi0[1])
+        expected = (np.array([2 * g1, 2 * g2, 0.0]) + np.array([2.0, 2.0, 1.0])) / (
+            2 + 5.0
+        )
+        np.testing.assert_allclose(phi, expected / expected.sum(), rtol=1e-9)

@@ -1,0 +1,134 @@
+"""Tests for the link-analysis family (Sums/AverageLog/Investment/Pooled/
+TruthFinder) and the crowd classics (Dawid-Skene, ZenCrowd)."""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchy, Record, TruthDiscoveryDataset
+from repro.eval import evaluate
+from repro.inference import (
+    AverageLog,
+    DawidSkene,
+    Investment,
+    PooledInvestment,
+    Sums,
+    TruthFinder,
+    ZenCrowd,
+)
+
+ALL_EXTRA = [
+    Sums,
+    AverageLog,
+    Investment,
+    PooledInvestment,
+    TruthFinder,
+    DawidSkene,
+    ZenCrowd,
+]
+
+
+@pytest.fixture(params=ALL_EXTRA, ids=lambda cls: cls.name)
+def algorithm(request):
+    return request.param(max_iter=15)
+
+
+class TestCommonContract:
+    def test_fits_all_objects(self, algorithm, table1_dataset):
+        result = algorithm.fit(table1_dataset)
+        assert set(result.confidences) == set(table1_dataset.objects)
+
+    def test_confidences_normalise(self, algorithm, table1_dataset):
+        result = algorithm.fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            confidence = result.confidence(obj)
+            assert sum(confidence.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_truth_is_candidate(self, algorithm, table1_dataset):
+        result = algorithm.fit(table1_dataset)
+        for obj in table1_dataset.objects:
+            assert result.truth(obj) in table1_dataset.candidates(obj)
+
+    def test_deterministic(self, algorithm, table1_dataset):
+        assert (
+            algorithm.fit(table1_dataset).truths()
+            == algorithm.fit(table1_dataset).truths()
+        )
+
+    def test_unanimous_claims_win(self, algorithm):
+        h = Hierarchy()
+        for v in ("A", "B"):
+            h.add_edge(v, h.root)
+        records = [Record(f"o{i}", f"s{j}", "A") for i in range(4) for j in range(3)]
+        records.append(Record("o0", "s9", "B"))
+        ds = TruthDiscoveryDataset(h, records)
+        truths = algorithm.fit(ds).truths()
+        assert truths["o1"] == "A"
+
+    def test_better_than_random_on_birthplaces(self, algorithm, small_birthplaces):
+        result = algorithm.fit(small_birthplaces)
+        report = evaluate(small_birthplaces, result.truths())
+        assert report.accuracy > 0.5, algorithm.name
+
+
+class TestLinkAnalysisSpecifics:
+    def test_sums_trust_normalised(self, small_birthplaces):
+        result = Sums(max_iter=10).fit(small_birthplaces)
+        trust = result.trust
+        assert max(trust.values()) == pytest.approx(1.0)
+        assert all(t >= 0.0 for t in trust.values())
+
+    def test_averagelog_rewards_volume(self):
+        """Two equally-accurate sources: the one with more claims gets more
+        trust under AverageLog (the log(n) factor)."""
+        h = Hierarchy()
+        for v in ("A", "B"):
+            h.add_edge(v, h.root)
+        records = []
+        for i in range(20):
+            records.append(Record(f"o{i}", "busy", "A"))
+            records.append(Record(f"o{i}", "anchor", "A"))
+        records.append(Record("o0", "light", "A"))
+        ds = TruthDiscoveryDataset(h, records)
+        result = AverageLog(max_iter=10).fit(ds)
+        assert result.trust["busy"] > result.trust["light"]
+
+    def test_investment_growth_parameter(self, small_birthplaces):
+        mild = Investment(growth=1.0, max_iter=10).fit(small_birthplaces)
+        sharp = Investment(growth=1.6, max_iter=10).fit(small_birthplaces)
+        # Higher growth sharpens beliefs toward majority values.
+        mild_entropy = np.mean(
+            [(-v * np.log(np.maximum(v, 1e-12))).sum() for v in mild.confidences.values()]
+        )
+        sharp_entropy = np.mean(
+            [(-v * np.log(np.maximum(v, 1e-12))).sum() for v in sharp.confidences.values()]
+        )
+        assert sharp_entropy <= mild_entropy + 0.05
+
+    def test_truthfinder_hierarchy_reinforcement(self, table1_dataset):
+        """A specific claim lends implied support to its candidate ancestors."""
+        result = TruthFinder(max_iter=15).fit(table1_dataset)
+        confidence = result.confidence("Statue of Liberty")
+        # NY (ancestor of the claimed Liberty Island) outranks the unrelated LA.
+        assert confidence["NY"] > confidence["LA"]
+
+
+class TestCrowdClassics:
+    def test_zencrowd_reliability_estimates(self, small_birthplaces):
+        result = ZenCrowd(max_iter=10).fit(small_birthplaces)
+        reliability = result.reliability
+        assert all(0.0 < r < 1.0 for r in reliability.values())
+        # The generator's most accurate source should rank above the least.
+        assert reliability["source_2"] > reliability["source_7"]
+
+    def test_dawid_skene_close_to_lfc(self, small_birthplaces):
+        """DS and LFC share the confusion-matrix core; their accuracy should
+        land in the same neighbourhood."""
+        from repro import Lfc
+
+        ds_report = evaluate(
+            small_birthplaces, DawidSkene(max_iter=10).fit(small_birthplaces).truths()
+        )
+        lfc_report = evaluate(
+            small_birthplaces, Lfc(max_iter=10).fit(small_birthplaces).truths()
+        )
+        assert abs(ds_report.accuracy - lfc_report.accuracy) < 0.1
