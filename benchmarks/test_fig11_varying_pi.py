@@ -3,6 +3,10 @@
 Accuracy grows with pi_p and TDH+EAI stays on top across the sweep.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # multi-round crowd-loop EM benchmark
+
 from repro.experiments import fig11_worker_quality
 from repro.experiments.common import format_series
 

@@ -5,6 +5,10 @@ VOTE+ME is the fastest combo and the task-assignment step stays cheap
 relative to inference for TDH+EAI.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # multi-round crowd-loop EM benchmark
+
 from repro.experiments import fig12_runtime
 from repro.experiments.common import format_table
 

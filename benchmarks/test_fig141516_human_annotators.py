@@ -5,6 +5,10 @@ observation) even where other combos start higher on GenAccuracy, TDH+EAI
 overtakes within a few rounds.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # multi-round crowd-loop EM benchmark
+
 from repro.experiments import fig14_human
 from repro.experiments.common import format_series
 

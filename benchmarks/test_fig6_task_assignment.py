@@ -6,6 +6,8 @@ EAI must finish at least as high as the uncertainty-sampling baseline ME.
 
 import pytest
 
+pytestmark = pytest.mark.slow  # multi-round crowd-loop EM benchmark
+
 from repro.experiments import fig6_assignment
 from repro.experiments.common import format_series
 

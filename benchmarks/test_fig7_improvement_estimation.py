@@ -5,6 +5,10 @@ and QASCA must overestimate on average (positive bias) — the paper's central
 task-assignment finding.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # multi-round crowd-loop EM benchmark
+
 from repro.experiments import fig7_estimation
 
 

@@ -4,6 +4,10 @@ TDH+EAI must lead on Accuracy and finish with the lowest AvgDistance, and its
 cost saving vs the best competitor must be positive.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow  # multi-round crowd-loop EM benchmark
+
 from repro.experiments import fig8_cost
 from repro.experiments.common import format_series
 

@@ -1,6 +1,10 @@
 """Bench: Table 4 — accuracy of every inference x assignment combo after the
 final crowdsourcing round. TDH+EAI must be the best cell overall."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # multi-round crowd-loop EM benchmark
+
 from repro.experiments import table4_combos
 from repro.experiments.common import format_table
 

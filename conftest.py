@@ -1,0 +1,28 @@
+"""Repo-level pytest configuration: the ``--runslow`` split.
+
+Tests marked ``@pytest.mark.slow`` (the long EM-convergence / multi-round
+crowd-loop benchmarks) are skipped by default so the CI matrix job stays
+fast; pass ``--runslow`` to include them:
+
+    python -m pytest --runslow -q
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked 'slow' (long EM-convergence benchmarks)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -80,6 +80,11 @@ class CrowdSimulator:
         The simulated worker panel.
     seed:
         Seed for answer generation.
+    rng:
+        Optional explicit :class:`numpy.random.Generator` for answer
+        generation; overrides ``seed``. All simulator randomness flows
+        through this single generator (no module-level RNG state), which
+        keeps runs bit-reproducible across interpreter versions.
     """
 
     def __init__(
@@ -89,12 +94,13 @@ class CrowdSimulator:
         assigner: TaskAssigner,
         workers: Sequence[SimulatedWorker],
         seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.dataset = dataset.copy()
         self.model = model
         self.assigner = assigner
         self.workers = list(workers)
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._structure_cache = (
             model.make_structure_cache(self.dataset)
             if isinstance(model, TDHModel)

@@ -68,6 +68,18 @@ class SimulatedWorker:
         return candidates[int(rng.integers(len(candidates)))]
 
 
+def _resolve_rng(
+    seed: Optional[int], rng: Optional[np.random.Generator]
+) -> np.random.Generator:
+    """An explicit generator wins; otherwise one is built from ``seed``.
+
+    All randomness in this module flows through generators passed this way —
+    there is no module-level RNG state — so CI runs are reproducible across
+    Python/NumPy versions as long as callers pass a seed or generator.
+    """
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
 def make_worker_pool(
     n: int,
     pi_p: float = 0.75,
@@ -75,9 +87,10 @@ def make_worker_pool(
     seed: Optional[int] = None,
     p_generalize: float = 0.0,
     prefix: str = "worker",
+    rng: Optional[np.random.Generator] = None,
 ) -> List[SimulatedWorker]:
     """The paper's simulated panel: ``p_w ~ U(pi_p - spread, pi_p + spread)``."""
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     low = max(pi_p - spread, 0.0)
     high = min(pi_p + spread, 1.0 - p_generalize)
     low = min(low, high)
@@ -96,6 +109,7 @@ def make_human_panel(
     seed: Optional[int] = None,
     pi_p: float = 0.82,
     p_generalize: float = 0.08,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[SimulatedWorker]:
     """A panel mimicking the paper's 10 human annotators (Section 5.5).
 
@@ -103,17 +117,27 @@ def make_human_panel(
     answer with a correct-but-broader region.
     """
     return make_worker_pool(
-        n, pi_p=pi_p, spread=0.06, seed=seed, p_generalize=p_generalize, prefix="human"
+        n,
+        pi_p=pi_p,
+        spread=0.06,
+        seed=seed,
+        p_generalize=p_generalize,
+        prefix="human",
+        rng=rng,
     )
 
 
-def make_amt_panel(n: int = 20, seed: Optional[int] = None) -> List[SimulatedWorker]:
+def make_amt_panel(
+    n: int = 20,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[SimulatedWorker]:
     """A panel mimicking the paper's 20 AMT workers (Section 5.6).
 
     Commercial crowds are mixed: a few diligent workers, many average ones
     and some near-random spammers.
     """
-    rng = np.random.default_rng(seed)
+    rng = _resolve_rng(seed, rng)
     workers: List[SimulatedWorker] = []
     for i in range(n):
         tier = rng.random()

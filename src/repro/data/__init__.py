@@ -1,5 +1,6 @@
 """Data model: records, answers and truth-discovery datasets."""
 
+from .columnar import AUTO_MIN_CLAIMS, ColumnarClaims, PairExpansion, resolve_engine
 from .model import (
     Answer,
     DatasetError,
@@ -14,4 +15,8 @@ __all__ = [
     "TruthDiscoveryDataset",
     "ObjectContext",
     "DatasetError",
+    "ColumnarClaims",
+    "PairExpansion",
+    "resolve_engine",
+    "AUTO_MIN_CLAIMS",
 ]

@@ -1,0 +1,316 @@
+"""Columnar claim encoding: the array backbone of the vectorized fast paths.
+
+The dict-based :class:`~repro.data.model.TruthDiscoveryDataset` is the
+reference representation — easy to mutate, easy to read, and exactly the shape
+the paper's per-object formulas are written in. But every EM round over it
+costs one Python-level loop per claim per candidate, which dominates runtime
+long before the datasets reach the paper's Fig-12/Fig-13 scales.
+
+:class:`ColumnarClaims` integer-encodes the whole dataset once:
+
+* **objects** ``o`` -> ``oid`` (dense, in first-seen order);
+* **claimants** (sources and ``("worker", w)`` pairs) -> ``cid``;
+* **candidate values**: each object's ``Vo`` occupies a contiguous run of
+  global *slots*; ``value_offsets[oid]:value_offsets[oid+1]`` is the CSR
+  slice of object ``oid``, so any per-candidate quantity lives in one flat
+  ``(n_slots,)`` array;
+* **claims** (records followed by answers, grouped by object) become four
+  parallel arrays ``claim_obj / claim_claimant / claim_pos / claim_slot``
+  with their own CSR ``claim_offsets`` per object.
+
+On top of the encoding the class offers the segment primitives the vectorized
+algorithms share — per-object normalize / argmax / log-softmax via
+``np.add.reduceat`` and friends — plus a lazily built claim x candidate
+:class:`PairExpansion` for the confusion-matrix EM steps (Dawid-Skene,
+ZenCrowd), where each claim contributes one term per candidate of its object.
+
+The encoding is built once and cached on the dataset
+(:meth:`TruthDiscoveryDataset.columnar`); any mutation invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .model import ObjectId, TruthDiscoveryDataset
+
+ClaimantKey = Hashable
+
+#: Claims-table size above which ``use_columnar="auto"`` switches to the
+#: vectorized path. Below it the dict loops win on constant factors and the
+#: reference implementation stays exercised by the ordinary test suite.
+AUTO_MIN_CLAIMS = 2048
+
+
+def resolve_engine(
+    use_columnar: Union[bool, str], dataset: "TruthDiscoveryDataset"
+) -> bool:
+    """Decide whether to take the columnar fast path.
+
+    ``use_columnar`` accepts ``True`` / ``False``, the strings ``"columnar"``
+    / ``"reference"`` (the experiment CLI's ``--engine`` values), or
+    ``"auto"`` — columnar once the claim table reaches
+    :data:`AUTO_MIN_CLAIMS` rows.
+    """
+    if use_columnar is True or use_columnar == "columnar":
+        return True
+    if use_columnar is False or use_columnar == "reference":
+        return False
+    if use_columnar == "auto":
+        return dataset.num_records + dataset.num_answers >= AUTO_MIN_CLAIMS
+    raise ValueError(
+        "use_columnar must be True, False, 'auto', 'columnar' or 'reference';"
+        f" got {use_columnar!r}"
+    )
+
+
+class PairExpansion:
+    """The claim x candidate cross-join used by confusion-matrix EM steps.
+
+    Row ``p`` pairs claim ``pair_claim[p]`` with candidate slot
+    ``pair_slot[p]`` of the claimed object, ordered by object, then claim,
+    then candidate position — the exact iteration order of the reference
+    loops, so ``np.bincount`` accumulates partial sums in the same sequence.
+
+    ``cell_index`` / ``total_index`` give each row a dense id for its
+    Dawid-Skene confusion cell ``(claimant, truth value, claimed value)`` and
+    marginal ``(claimant, truth value)``; both are iteration-invariant, so the
+    (relatively expensive) ``np.unique`` runs once per encoding.
+    """
+
+    def __init__(self, col: "ColumnarClaims") -> None:
+        sizes_per_claim = col.sizes[col.claim_obj]
+        n_pairs = int(sizes_per_claim.sum())
+        self.pair_claim = np.repeat(
+            np.arange(len(col.claim_obj), dtype=np.int64), sizes_per_claim
+        )
+        # pair_slot[p] = value_offsets[claim_obj[j]] + (rank of p within claim j)
+        ends = np.cumsum(sizes_per_claim)
+        within = np.arange(n_pairs, dtype=np.int64) - np.repeat(
+            ends - sizes_per_claim, sizes_per_claim
+        )
+        self.pair_slot = (
+            np.repeat(col.value_offsets[col.claim_obj], sizes_per_claim) + within
+        )
+        #: ``|Vo|`` of the object behind each pair (Laplace denominators).
+        self.pair_size = sizes_per_claim[self.pair_claim].astype(np.float64)
+        #: True where the pair's candidate is the claimed value itself.
+        self.pair_is_claimed = self.pair_slot == col.claim_slot[self.pair_claim]
+
+        n_values = max(len(col.values), 1)
+        claimant = col.claim_claimant[self.pair_claim].astype(np.int64)
+        truth_vid = col.slot_vid[self.pair_slot].astype(np.int64)
+        claimed_vid = col.claim_vid[self.pair_claim].astype(np.int64)
+        total_key = claimant * n_values + truth_vid
+        cell_key = total_key * n_values + claimed_vid
+        cells, self.cell_index = np.unique(cell_key, return_inverse=True)
+        totals, self.total_index = np.unique(total_key, return_inverse=True)
+        self.n_cells = len(cells)
+        self.n_totals = len(totals)
+
+
+class ColumnarClaims:
+    """Flat integer-array view of a :class:`TruthDiscoveryDataset`.
+
+    Attributes
+    ----------
+    objects / claimants / values:
+        Decoding tables: dense id -> original object id, claimant key
+        (source, or ``("worker", w)``), hierarchy value.
+    value_offsets:
+        ``(n_objects + 1,)`` CSR offsets into the slot arrays; object ``oid``
+        owns slots ``value_offsets[oid]:value_offsets[oid + 1]``, one per
+        candidate in ``Vo`` order.
+    slot_vid / slot_obj:
+        Per-slot global value id and owning object id.
+    claim_obj / claim_claimant / claim_pos / claim_slot:
+        The claim table (records then answers, grouped by object).
+        ``claim_pos`` is the candidate position within the object,
+        ``claim_slot`` the global slot.
+    claim_offsets:
+        ``(n_objects + 1,)`` CSR offsets into the claim table per object.
+    """
+
+    def __init__(self, dataset: "TruthDiscoveryDataset") -> None:
+        self.objects: List["ObjectId"] = list(dataset.objects)
+        self.object_index: Dict["ObjectId", int] = {
+            obj: i for i, obj in enumerate(self.objects)
+        }
+
+        claimant_index: Dict[ClaimantKey, int] = {}
+        claimants: List[ClaimantKey] = []
+        value_index: Dict[Hashable, int] = {}
+        values: List[Hashable] = []
+
+        value_offsets = [0]
+        claim_offsets = [0]
+        slot_vid: List[int] = []
+        claim_obj: List[int] = []
+        claim_claimant: List[int] = []
+        claim_pos: List[int] = []
+
+        for oid, obj in enumerate(self.objects):
+            ctx = dataset.context(obj)
+            for value in ctx.values:
+                vid = value_index.get(value)
+                if vid is None:
+                    vid = value_index[value] = len(values)
+                    values.append(value)
+                slot_vid.append(vid)
+            value_offsets.append(value_offsets[-1] + ctx.size)
+
+            # Records first, answers second — the claimant order every
+            # reference ``_claims_of`` helper uses.
+            for source, value in dataset.records_for(obj).items():
+                cid = claimant_index.get(source)
+                if cid is None:
+                    cid = claimant_index[source] = len(claimants)
+                    claimants.append(source)
+                claim_obj.append(oid)
+                claim_claimant.append(cid)
+                claim_pos.append(ctx.index[value])
+            for worker, value in dataset.answers_for(obj).items():
+                key: ClaimantKey = ("worker", worker)
+                cid = claimant_index.get(key)
+                if cid is None:
+                    cid = claimant_index[key] = len(claimants)
+                    claimants.append(key)
+                claim_obj.append(oid)
+                claim_claimant.append(cid)
+                claim_pos.append(ctx.index[value])
+            claim_offsets.append(len(claim_obj))
+
+        self.claimants = claimants
+        self.claimant_index = claimant_index
+        self.values = values
+        self.value_index = value_index
+
+        self.value_offsets = np.asarray(value_offsets, dtype=np.int64)
+        self.claim_offsets = np.asarray(claim_offsets, dtype=np.int64)
+        self.slot_vid = np.asarray(slot_vid, dtype=np.int64)
+        self.claim_obj = np.asarray(claim_obj, dtype=np.int64)
+        self.claim_claimant = np.asarray(claim_claimant, dtype=np.int64)
+        self.claim_pos = np.asarray(claim_pos, dtype=np.int64)
+
+        self.sizes = np.diff(self.value_offsets)
+        self.slot_obj = np.repeat(
+            np.arange(len(self.objects), dtype=np.int64), self.sizes
+        )
+        self.claim_slot = self.value_offsets[self.claim_obj] + self.claim_pos
+        self.claim_vid = self.slot_vid[self.claim_slot]
+        self._pairs: Optional[PairExpansion] = None
+
+    # ------------------------------------------------------------------
+    # shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def n_claimants(self) -> int:
+        return len(self.claimants)
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.value_offsets[-1])
+
+    @property
+    def n_claims(self) -> int:
+        return len(self.claim_obj)
+
+    @property
+    def pairs(self) -> PairExpansion:
+        """The claim x candidate expansion, built on first use and cached."""
+        if self._pairs is None:
+            self._pairs = PairExpansion(self)
+        return self._pairs
+
+    # ------------------------------------------------------------------
+    # segment primitives (one segment per object)
+    # ------------------------------------------------------------------
+    def segment_sum(self, flat: np.ndarray) -> np.ndarray:
+        """Per-object sum of a ``(n_slots,)`` array -> ``(n_objects,)``."""
+        if self.n_objects == 0:
+            return np.zeros(0, dtype=flat.dtype)
+        return np.add.reduceat(flat, self.value_offsets[:-1])
+
+    def segment_normalize(self, flat: np.ndarray) -> np.ndarray:
+        """Normalize per object; all-zero (or negative-total) segments become
+        uniform, matching the reference algorithms' fallback."""
+        totals = self.segment_sum(flat)
+        safe = np.where(totals > 0, totals, 1.0)
+        out = flat / safe[self.slot_obj]
+        bad = totals <= 0
+        if np.any(bad):
+            uniform = 1.0 / self.sizes.astype(np.float64)
+            out = np.where(bad[self.slot_obj], uniform[self.slot_obj], out)
+        return out
+
+    def segment_argmax_slot(self, flat: np.ndarray) -> np.ndarray:
+        """Per-object argmax -> global slot, first-max tie-break like
+        ``np.argmax`` over each segment."""
+        if self.n_objects == 0:
+            return np.zeros(0, dtype=np.int64)
+        seg_max = np.maximum.reduceat(flat, self.value_offsets[:-1])
+        slot_ids = np.arange(self.n_slots, dtype=np.int64)
+        candidates = np.where(flat == seg_max[self.slot_obj], slot_ids, self.n_slots)
+        return np.minimum.reduceat(candidates, self.value_offsets[:-1])
+
+    def segment_softmax(self, log_flat: np.ndarray) -> np.ndarray:
+        """Per-object ``exp(x - max) / sum`` over a log-score array."""
+        if self.n_objects == 0:
+            return np.zeros(0, dtype=np.float64)
+        seg_max = np.maximum.reduceat(log_flat, self.value_offsets[:-1])
+        shifted = np.exp(log_flat - seg_max[self.slot_obj])
+        totals = np.add.reduceat(shifted, self.value_offsets[:-1])
+        return shifted / totals[self.slot_obj]
+
+    # ------------------------------------------------------------------
+    # claim aggregations
+    # ------------------------------------------------------------------
+    def vote_counts(self) -> np.ndarray:
+        """Claims per slot (records + answers) -> ``(n_slots,)`` floats."""
+        return np.bincount(self.claim_slot, minlength=self.n_slots).astype(np.float64)
+
+    def weighted_counts(self, claimant_weights: np.ndarray) -> np.ndarray:
+        """Per-slot sum of claimant weights -> ``(n_slots,)``."""
+        return np.bincount(
+            self.claim_slot,
+            weights=claimant_weights[self.claim_claimant],
+            minlength=self.n_slots,
+        )
+
+    def claimant_counts(self) -> np.ndarray:
+        """Claims per claimant -> ``(n_claimants,)`` ints."""
+        return np.bincount(self.claim_claimant, minlength=self.n_claimants)
+
+    def initial_confidences_flat(self) -> np.ndarray:
+        """Vote-proportion EM initialisation, flat counterpart of
+        :func:`repro.inference.base.initial_confidences`."""
+        return self.segment_normalize(self.vote_counts())
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def to_confidences(self, flat: np.ndarray) -> Dict["ObjectId", np.ndarray]:
+        """Split a ``(n_slots,)`` array back into the per-object dict shape
+        that :class:`~repro.inference.base.InferenceResult` expects.
+
+        The per-object arrays are views into ``flat`` (no copies); callers
+        own ``flat`` by construction, so aliasing is safe.
+        """
+        return dict(zip(self.objects, np.split(flat, self.value_offsets[1:-1])))
+
+    def claimant_mapping(self, values: np.ndarray) -> Dict[ClaimantKey, float]:
+        """Zip a per-claimant array into a ``claimant -> value`` dict."""
+        return {key: float(values[cid]) for cid, key in enumerate(self.claimants)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ColumnarClaims(objects={self.n_objects}, claimants={self.n_claimants},"
+            f" slots={self.n_slots}, claims={self.n_claims})"
+        )

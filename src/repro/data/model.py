@@ -115,6 +115,7 @@ class TruthDiscoveryDataset:
         self._objects_by_source: Dict[SourceId, List[ObjectId]] = {}
         self._objects_by_worker: Dict[WorkerId, List[ObjectId]] = {}
         self._contexts: Dict[ObjectId, ObjectContext] = {}
+        self._columnar = None  # lazily built ColumnarClaims, see columnar()
 
         for record in records:
             self.add_record(record)
@@ -132,6 +133,7 @@ class TruthDiscoveryDataset:
             self._objects_by_source.setdefault(record.source, []).append(record.object)
         claims[record.source] = record.value
         self._contexts.pop(record.object, None)
+        self._columnar = None
 
     def add_answer(self, answer: Answer) -> None:
         """Add (or overwrite) a worker answer.
@@ -150,6 +152,7 @@ class TruthDiscoveryDataset:
         if answer.worker not in claims:
             self._objects_by_worker.setdefault(answer.worker, []).append(answer.object)
         claims[answer.worker] = answer.value
+        self._columnar = None
 
     def _check_value(self, value: Value) -> None:
         if value == self.hierarchy.root:
@@ -258,6 +261,19 @@ class TruthDiscoveryDataset:
                     descendant_sets[j].append(i)
         has_hierarchy = any(ancestor_sets[i] for i in range(n))
         return ObjectContext(values, index, ancestor_sets, descendant_sets, has_hierarchy)
+
+    def columnar(self):
+        """The cached :class:`~repro.data.columnar.ColumnarClaims` encoding.
+
+        Built on first use; any :meth:`add_record` / :meth:`add_answer`
+        invalidates it, so callers can hold the returned object only within
+        one inference run over an unchanging dataset.
+        """
+        from .columnar import ColumnarClaims
+
+        if self._columnar is None:
+            self._columnar = ColumnarClaims(self)
+        return self._columnar
 
     @property
     def hierarchical_objects(self) -> List[ObjectId]:

@@ -1,6 +1,7 @@
-"""CLI entry point: ``python -m repro.experiments <name> [--full]``."""
+"""CLI entry point: ``python -m repro.experiments <name> [--full] [--engine E]``."""
 
 import argparse
+import inspect
 import sys
 
 from . import EXPERIMENTS
@@ -22,6 +23,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="use the paper's dataset sizes and round counts (slow)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "reference", "columnar"],
+        default="auto",
+        help=(
+            "truth-inference execution engine for experiments that support it"
+            " (fig12, fig13): the per-object dict loops (reference), the"
+            " vectorized claim-table fast paths (columnar), or size-based"
+            " selection (auto, default)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.experiment is None:
         parser.print_help()
@@ -30,7 +42,11 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"=== {name} ===")
-        EXPERIMENTS[name].main(full=args.full)
+        entry = EXPERIMENTS[name].main
+        kwargs = {"full": args.full}
+        if "engine" in inspect.signature(entry).parameters:
+            kwargs["engine"] = args.engine
+        entry(**kwargs)
     return 0
 
 

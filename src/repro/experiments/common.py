@@ -95,13 +95,20 @@ def both_datasets(s: ExperimentScale) -> Dict[str, TruthDiscoveryDataset]:
 # ---------------------------------------------------------------------------
 # algorithm registries (the paper's Section 5.1 lists)
 # ---------------------------------------------------------------------------
-def inference_factories(s: ExperimentScale) -> Dict[str, Callable[[], TruthInferenceAlgorithm]]:
-    """The ten single-truth inference algorithms of Table 3."""
+def inference_factories(
+    s: ExperimentScale, engine: str = "auto"
+) -> Dict[str, Callable[[], TruthInferenceAlgorithm]]:
+    """The ten single-truth inference algorithms of Table 3.
+
+    ``engine`` (``"auto"`` / ``"reference"`` / ``"columnar"``) selects the
+    execution engine for the algorithms that ship a columnar fast path
+    (currently VOTE and CRH); the rest ignore it.
+    """
     iters = s.em_iterations
     tol = s.em_tol
     return {
         "TDH": lambda: TDHModel(max_iter=iters, tol=tol),
-        "VOTE": lambda: Vote(),
+        "VOTE": lambda: Vote(use_columnar=engine),
         "LCA": lambda: GuessLca(max_iter=iters, tol=tol),
         "DOCS": lambda: Docs(max_iter=iters, tol=tol),
         "ASUMS": lambda: Asums(max_iter=iters, tol=tol),
@@ -109,7 +116,7 @@ def inference_factories(s: ExperimentScale) -> Dict[str, Callable[[], TruthInfer
         "ACCU": lambda: Accu(max_iter=min(iters, 15), tol=tol),
         "POPACCU": lambda: PopAccu(max_iter=min(iters, 15), tol=tol),
         "LFC": lambda: Lfc(max_iter=min(iters, 20), tol=tol),
-        "CRH": lambda: Crh(max_iter=min(iters, 20), tol=tol),
+        "CRH": lambda: Crh(max_iter=min(iters, 20), tol=tol, use_columnar=engine),
     }
 
 
@@ -147,10 +154,10 @@ HEADLINE_COMBOS: Sequence[Sequence[str]] = (
 
 
 def make_combo(
-    inference: str, assigner: str, s: ExperimentScale
+    inference: str, assigner: str, s: ExperimentScale, engine: str = "auto"
 ) -> tuple[TruthInferenceAlgorithm, TaskAssigner]:
     """Instantiate an inference+assignment pair by name."""
-    model = inference_factories(s)[inference]()
+    model = inference_factories(s, engine=engine)[inference]()
     task_assigner = assigner_factories()[assigner]()
     return model, task_assigner
 

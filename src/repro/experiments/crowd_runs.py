@@ -21,9 +21,10 @@ def run_combo(
     worker_seed: int = 3,
     answer_seed: int = 5,
     evaluate_every: int = 1,
+    engine: str = "auto",
 ) -> SimulationHistory:
     """Run one inference+assignment combo through the crowdsourcing loop."""
-    model, task_assigner = make_combo(inference, assigner, s)
+    model, task_assigner = make_combo(inference, assigner, s, engine=engine)
     panel = (
         list(workers)
         if workers is not None

@@ -29,14 +29,24 @@ FIG12_COMBOS = (
 )
 
 
-def run(full: bool = False, rounds: int = 5) -> Dict[str, List[dict]]:
+def run(
+    full: bool = False, rounds: int = 5, engine: str = "auto"
+) -> Dict[str, List[dict]]:
+    """``engine`` selects the inference execution path for the algorithms
+    with a columnar fast path (``reference`` / ``columnar`` / ``auto``)."""
     s = scale(full)
     out: Dict[str, List[dict]] = {}
     for ds_name, dataset in both_datasets(s).items():
         rows = []
         for inference, assigner in FIG12_COMBOS:
             history = run_combo(
-                dataset, inference, assigner, s, rounds=rounds, evaluate_every=1
+                dataset,
+                inference,
+                assigner,
+                s,
+                rounds=rounds,
+                evaluate_every=1,
+                engine=engine,
             )
             records = history.records[1:]
             inf_time = sum(r.inference_seconds for r in records) / len(records)
@@ -54,14 +64,17 @@ def run(full: bool = False, rounds: int = 5) -> Dict[str, List[dict]]:
     return out
 
 
-def main(full: bool = False) -> None:
-    results = run(full)
+def main(full: bool = False, engine: str = "auto") -> None:
+    results = run(full, engine=engine)
     for ds_name, rows in results.items():
         print(
             format_table(
                 rows,
                 ["Combo", "Inference(s)", "Assignment(s)", "Total(s)"],
-                title=f"Figure 12 — execution time per round ({ds_name})",
+                title=(
+                    f"Figure 12 — execution time per round ({ds_name},"
+                    f" engine={engine})"
+                ),
             )
         )
         print()

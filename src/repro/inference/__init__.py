@@ -1,6 +1,11 @@
 """Truth-inference algorithms: TDH (the paper's) plus all compared baselines."""
 
-from .base import InferenceResult, TruthInferenceAlgorithm, initial_confidences
+from .base import (
+    ColumnarInferenceResult,
+    InferenceResult,
+    TruthInferenceAlgorithm,
+    initial_confidences,
+)
 from .tdh import TDHModel, TDHResult
 from .vote import Vote
 from .accu import Accu, PopAccu
@@ -21,6 +26,7 @@ from .dawid_skene import DawidSkene, ZenCrowd
 __all__ = [
     "TruthInferenceAlgorithm",
     "InferenceResult",
+    "ColumnarInferenceResult",
     "initial_confidences",
     "TDHModel",
     "TDHResult",

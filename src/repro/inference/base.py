@@ -71,6 +71,43 @@ class InferenceResult:
         return {obj: {self.truth(obj)} for obj in self.confidences}
 
 
+class ColumnarInferenceResult(InferenceResult):
+    """An :class:`InferenceResult` backed by a flat per-slot array.
+
+    The columnar fast paths produce one ``(n_slots,)`` confidence array; the
+    per-object dict view costs a Python loop over all objects, so it is built
+    lazily on first access to :attr:`confidences`. :meth:`truths` is
+    overridden with a vectorized per-segment argmax.
+    """
+
+    def __init__(
+        self,
+        dataset: TruthDiscoveryDataset,
+        columnar,
+        flat: np.ndarray,
+        iterations: int = 0,
+        converged: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self._columnar = columnar
+        self.flat = np.asarray(flat, dtype=float)
+        self.iterations = iterations
+        self.converged = converged
+        self._confidences: Optional[Dict[ObjectId, np.ndarray]] = None
+
+    @property
+    def confidences(self) -> Dict[ObjectId, np.ndarray]:
+        if self._confidences is None:
+            self._confidences = self._columnar.to_confidences(self.flat)
+        return self._confidences
+
+    def truths(self) -> Dict[ObjectId, Value]:
+        col = self._columnar
+        slots = col.segment_argmax_slot(self.flat)
+        vids = col.slot_vid[slots]
+        return {obj: col.values[vid] for obj, vid in zip(col.objects, vids)}
+
+
 class TruthInferenceAlgorithm(abc.ABC):
     """Base class for truth-inference algorithms.
 

@@ -11,17 +11,32 @@ package's per-object candidate formulation:
   LFC, but with per-claimant class priors as in the original).
 * ZenCrowd keeps a single reliability ``r_c``: a claim matches the truth
   with probability ``r_c`` and is uniform otherwise.
+
+Each model ships two engines. The reference engine iterates Python dicts per
+object per EM round — the shape the formulas are written in. The columnar
+engine (``use_columnar``) runs the same E/M updates over the dataset's
+:class:`~repro.data.columnar.ColumnarClaims` encoding: the confusion-cell
+scatter and the per-candidate log-likelihood gather both become
+``np.bincount`` calls over the precomputed claim x candidate
+:class:`~repro.data.columnar.PairExpansion`, whose row order matches the
+reference loops so the accumulated sums agree to float round-off.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Tuple, Union
 
 import numpy as np
 
+from ..data.columnar import resolve_engine
 from ..data.model import ObjectId, TruthDiscoveryDataset
 from ..hierarchy.tree import Value
-from .base import InferenceResult, TruthInferenceAlgorithm, initial_confidences
+from .base import (
+    ColumnarInferenceResult,
+    InferenceResult,
+    TruthInferenceAlgorithm,
+    initial_confidences,
+)
 
 
 def _claims_of(dataset: TruthDiscoveryDataset, obj: ObjectId) -> Dict[Hashable, Value]:
@@ -40,17 +55,72 @@ class DawidSkene(TruthInferenceAlgorithm):
         Laplace pseudo-count per confusion cell.
     max_iter / tol:
         EM stopping rule on confidence change.
+    use_columnar:
+        Engine selector (``True`` / ``False`` / ``"auto"``); see
+        :func:`repro.data.columnar.resolve_engine`.
     """
 
     name = "DS"
     supports_workers = True
 
-    def __init__(self, smoothing: float = 0.5, max_iter: int = 40, tol: float = 1e-5) -> None:
+    def __init__(
+        self,
+        smoothing: float = 0.5,
+        max_iter: int = 40,
+        tol: float = 1e-5,
+        use_columnar: Union[bool, str] = "auto",
+    ) -> None:
         self.smoothing = smoothing
         self.max_iter = max_iter
         self.tol = tol
+        self.use_columnar = use_columnar
 
     def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        if resolve_engine(self.use_columnar, dataset):
+            return self._fit_columnar(dataset)
+        return self._fit_reference(dataset)
+
+    # ------------------------------------------------------------------
+    # columnar engine
+    # ------------------------------------------------------------------
+    def _fit_columnar(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        col = dataset.columnar()
+        pairs = col.pairs
+        mu = col.initial_confidences_flat()
+        iterations = 0
+        converged = False
+
+        for iterations in range(1, self.max_iter + 1):
+            # M-step: every pair (claim j, candidate slot s) adds mu[s] to the
+            # claimant's confusion cell (truth value of s, claimed value of j)
+            # and to the (claimant, truth) marginal.
+            weight = mu[pairs.pair_slot]
+            cells = np.bincount(pairs.cell_index, weights=weight, minlength=pairs.n_cells)
+            totals = np.bincount(
+                pairs.total_index, weights=weight, minlength=pairs.n_totals
+            )
+
+            # E-step: per-slot posterior = class prior (current confidence)
+            # times each claimant's smoothed confusion likelihood.
+            contrib = np.log(
+                (cells[pairs.cell_index] + self.smoothing)
+                / (totals[pairs.total_index] + self.smoothing * pairs.pair_size)
+            )
+            log_post = np.log(np.maximum(mu, 1e-12)) + np.bincount(
+                pairs.pair_slot, weights=contrib, minlength=col.n_slots
+            )
+            posterior = col.segment_softmax(log_post)
+            delta = float(np.max(np.abs(posterior - mu))) if col.n_slots else 0.0
+            mu = posterior
+            if delta < self.tol:
+                converged = True
+                break
+        return ColumnarInferenceResult(dataset, col, mu, iterations, converged)
+
+    # ------------------------------------------------------------------
+    # reference engine
+    # ------------------------------------------------------------------
+    def _fit_reference(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
         mu = initial_confidences(dataset)
         claims_cache = {obj: _claims_of(dataset, obj) for obj in dataset.objects}
         iterations = 0
@@ -106,12 +176,69 @@ class ZenCrowd(TruthInferenceAlgorithm):
     name = "ZENCROWD"
     supports_workers = True
 
-    def __init__(self, prior_reliability: float = 0.7, max_iter: int = 40, tol: float = 1e-5) -> None:
+    def __init__(
+        self,
+        prior_reliability: float = 0.7,
+        max_iter: int = 40,
+        tol: float = 1e-5,
+        use_columnar: Union[bool, str] = "auto",
+    ) -> None:
         self.prior_reliability = prior_reliability
         self.max_iter = max_iter
         self.tol = tol
+        self.use_columnar = use_columnar
 
     def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        if resolve_engine(self.use_columnar, dataset):
+            return self._fit_columnar(dataset)
+        return self._fit_reference(dataset)
+
+    # ------------------------------------------------------------------
+    # columnar engine
+    # ------------------------------------------------------------------
+    def _fit_columnar(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        col = dataset.columnar()
+        pairs = col.pairs
+        mu = col.initial_confidences_flat()
+        reliability = np.full(col.n_claimants, self.prior_reliability, dtype=np.float64)
+        counts = col.claimant_counts()
+        # Per-claim uniform-miss denominator max(|Vo| - 1, 1).
+        miss_denom = np.maximum(col.sizes[col.claim_obj] - 1, 1).astype(np.float64)
+        iterations = 0
+        converged = False
+
+        for iterations in range(1, self.max_iter + 1):
+            r = np.clip(reliability, 1e-3, 1.0 - 1e-3)
+            log_hit = np.log(r[col.claim_claimant])
+            log_miss = np.log((1.0 - r[col.claim_claimant]) / miss_denom)
+            contrib = np.where(
+                pairs.pair_is_claimed,
+                log_hit[pairs.pair_claim],
+                log_miss[pairs.pair_claim],
+            )
+            log_post = np.log(np.maximum(mu, 1e-12)) + np.bincount(
+                pairs.pair_slot, weights=contrib, minlength=col.n_slots
+            )
+            posterior = col.segment_softmax(log_post)
+            delta = float(np.max(np.abs(posterior - mu))) if col.n_slots else 0.0
+            mu = posterior
+            correct_mass = np.bincount(
+                col.claim_claimant,
+                weights=posterior[col.claim_slot],
+                minlength=col.n_claimants,
+            )
+            reliability = (correct_mass + 1.0) / (counts + 2.0)
+            if delta < self.tol:
+                converged = True
+                break
+        result = ColumnarInferenceResult(dataset, col, mu, iterations, converged)
+        result.reliability = col.claimant_mapping(reliability)  # type: ignore[attr-defined]
+        return result
+
+    # ------------------------------------------------------------------
+    # reference engine
+    # ------------------------------------------------------------------
+    def _fit_reference(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
         mu = initial_confidences(dataset)
         claims_cache = {obj: _claims_of(dataset, obj) for obj in dataset.objects}
         claimants = {c for claims in claims_cache.values() for c in claims}

@@ -1,0 +1,113 @@
+"""Property-style parity: the columnar engines must reproduce the reference
+engines — identical argmax truths and confidences within 1e-8 — on every
+dataset family (synthetic BirthPlaces/Heritages, the hand-built geography
+example, and the numeric-hierarchy stock dataset), with and without worker
+answers in the claim table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.workers import make_worker_pool
+from repro.data.columnar import AUTO_MIN_CLAIMS, resolve_engine
+from repro.data.model import Answer
+from repro.datasets import claims_to_dataset, make_birthplaces, make_heritages, make_stock_claims
+from repro.inference import Crh, DawidSkene, Vote, ZenCrowd
+
+ALGORITHMS = {
+    "VOTE": lambda engine: Vote(use_columnar=engine),
+    "DS": lambda engine: DawidSkene(max_iter=12, use_columnar=engine),
+    "ZENCROWD": lambda engine: ZenCrowd(max_iter=12, use_columnar=engine),
+    "CRH": lambda engine: Crh(max_iter=12, use_columnar=engine),
+}
+
+
+def _with_answers(dataset, n_workers=5, per_worker=40, seed=0):
+    """Fold simulated worker answers in so the encoding covers both claim kinds."""
+    rng = np.random.default_rng(seed)
+    objects = dataset.objects
+    for worker in make_worker_pool(n_workers, seed=3):
+        picks = rng.choice(len(objects), size=min(per_worker, len(objects)), replace=False)
+        for i in picks:
+            obj = objects[int(i)]
+            dataset.add_answer(Answer(obj, worker.worker_id, worker.answer(dataset, obj, rng)))
+    return dataset
+
+
+def _make_stock():
+    claims, gold = make_stock_claims("open_price", n_objects=150, n_sources=25, seed=23)
+    return claims_to_dataset(claims, gold)
+
+
+DATASETS = {
+    "synthetic-birthplaces": lambda: _with_answers(make_birthplaces(size=300, seed=7)),
+    "synthetic-heritages": lambda: make_heritages(size=120, n_sources=180, seed=11),
+    "stock": _make_stock,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(DATASETS))
+def dataset(request):
+    return DATASETS[request.param]()
+
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+def test_columnar_matches_reference(dataset, algo):
+    reference = ALGORITHMS[algo](False).fit(dataset)
+    columnar = ALGORITHMS[algo](True).fit(dataset)
+
+    assert columnar.iterations == reference.iterations
+    assert columnar.converged == reference.converged
+    assert columnar.truths() == reference.truths()
+    for obj in dataset.objects:
+        np.testing.assert_allclose(
+            columnar.confidences[obj],
+            reference.confidences[obj],
+            atol=1e-8,
+            rtol=0,
+            err_msg=f"{algo} diverges on {obj!r}",
+        )
+
+
+def test_geography_example_parity(table1_dataset):
+    """The paper's Table-1 geography example, ancestor-descendant candidates
+    included, agrees across engines for every algorithm."""
+    for algo, factory in ALGORITHMS.items():
+        reference = factory(False).fit(table1_dataset)
+        columnar = factory(True).fit(table1_dataset)
+        assert columnar.truths() == reference.truths(), algo
+        for obj in table1_dataset.objects:
+            np.testing.assert_allclose(
+                columnar.confidences[obj], reference.confidences[obj], atol=1e-8, rtol=0
+            )
+
+
+def test_zencrowd_reliability_parity(dataset):
+    reference = ZenCrowd(max_iter=8, use_columnar=False).fit(dataset)
+    columnar = ZenCrowd(max_iter=8, use_columnar=True).fit(dataset)
+    assert set(columnar.reliability) == set(reference.reliability)
+    for claimant, value in reference.reliability.items():
+        assert columnar.reliability[claimant] == pytest.approx(value, abs=1e-8)
+
+
+def test_crh_source_weight_parity(dataset):
+    reference = Crh(max_iter=8, use_columnar=False).fit(dataset)
+    columnar = Crh(max_iter=8, use_columnar=True).fit(dataset)
+    assert set(columnar.source_weights) == set(reference.source_weights)
+    for claimant, value in reference.source_weights.items():
+        assert columnar.source_weights[claimant] == pytest.approx(value, abs=1e-8)
+
+
+def test_engine_resolution(table1_dataset):
+    small = table1_dataset  # far below the auto threshold
+    assert resolve_engine(True, small) is True
+    assert resolve_engine("columnar", small) is True
+    assert resolve_engine(False, small) is False
+    assert resolve_engine("reference", small) is False
+    assert resolve_engine("auto", small) is False
+    big_enough = make_birthplaces(size=AUTO_MIN_CLAIMS, seed=1)
+    assert big_enough.num_records >= AUTO_MIN_CLAIMS
+    assert resolve_engine("auto", big_enough) is True
+    with pytest.raises(ValueError):
+        resolve_engine("fastest", small)
