@@ -1,10 +1,11 @@
 """Head-to-head micro-benchmark: reference vs columnar execution engines.
 
-Runs majority vote, Dawid-Skene, ZenCrowd and CRH over a synthetic
-BirthPlaces-style dataset with >= 5,000 objects through both engines,
-checks parity (identical argmax truths, confidences within 1e-8) and records
-wall times into ``BENCH_columnar.json`` at the repo root — the artifact the
-CI benchmark job uploads.
+Runs every dual-engine algorithm — majority vote, Dawid-Skene, ZenCrowd,
+CRH, and (since the full columnar port) TDH, LFC, ACCU, POPACCU, LCA, DOCS
+and ASUMS — over a synthetic BirthPlaces-style dataset with >= 5,000 objects
+through both engines, checks parity (identical argmax truths, confidences
+within 1e-8) and records wall times into ``BENCH_columnar.json`` at the repo
+root — the artifact the CI benchmark job uploads.
 
 Parity and artifact generation run in the default suite (deterministic); the
 wall-clock speedup thresholds live in a ``slow``-marked test so a loaded CI
@@ -27,7 +28,19 @@ import numpy as np
 import pytest
 
 from repro.datasets import make_birthplaces
-from repro.inference import Crh, DawidSkene, Vote, ZenCrowd
+from repro.inference import (
+    Accu,
+    Asums,
+    Crh,
+    DawidSkene,
+    Docs,
+    GuessLca,
+    Lfc,
+    PopAccu,
+    TDHModel,
+    Vote,
+    ZenCrowd,
+)
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
 N_OBJECTS = 5000
@@ -37,11 +50,31 @@ ALGORITHMS = {
     "DS": lambda engine: DawidSkene(max_iter=8, use_columnar=engine),
     "ZENCROWD": lambda engine: ZenCrowd(max_iter=8, use_columnar=engine),
     "CRH": lambda engine: Crh(max_iter=15, use_columnar=engine),
+    "TDH": lambda engine: TDHModel(max_iter=6, use_columnar=engine),
+    "LFC": lambda engine: Lfc(max_iter=6, use_columnar=engine),
+    "ACCU": lambda engine: Accu(max_iter=5, use_columnar=engine),
+    "POPACCU": lambda engine: PopAccu(max_iter=5, use_columnar=engine),
+    "LCA": lambda engine: GuessLca(max_iter=8, use_columnar=engine),
+    "DOCS": lambda engine: Docs(max_iter=8, use_columnar=engine),
+    "ASUMS": lambda engine: Asums(max_iter=8, use_columnar=engine),
 }
 
-# The acceptance bar applies to the algorithms the issue names; the others
+# The acceptance bars apply to the algorithms the issues name (VOTE and
+# Dawid-Skene from the first columnar PR, TDH from the full port); the rest
 # are recorded for the artifact but only sanity-checked (>= 1x).
-MIN_SPEEDUP = {"VOTE": 5.0, "DS": 5.0, "ZENCROWD": 1.0, "CRH": 1.0}
+MIN_SPEEDUP = {
+    "VOTE": 5.0,
+    "DS": 5.0,
+    "ZENCROWD": 1.0,
+    "CRH": 1.0,
+    "TDH": 10.0,
+    "LFC": 1.0,
+    "ACCU": 1.0,
+    "POPACCU": 1.0,
+    "LCA": 1.0,
+    "DOCS": 1.0,
+    "ASUMS": 1.0,
+}
 
 
 def _time_fit(algorithm, dataset, repeats: int = 3):
@@ -59,7 +92,9 @@ def bench_report():
     """Run the head-to-head once per session and write the artifact."""
     dataset = make_birthplaces(size=N_OBJECTS, seed=7)
     t0 = time.perf_counter()
-    dataset.columnar().pairs  # build + cache encoding and pair expansion
+    col = dataset.columnar()  # build + cache the encoding ...
+    col.pairs  # ... the claim x candidate expansion ...
+    col.hierarchy  # ... and the CSR hierarchy view (TDH/ASUMS/DOCS)
     encode_seconds = time.perf_counter() - t0
 
     report = {

@@ -1,0 +1,140 @@
+"""Docs smoke check: every code snippet quoted in the docs must stay runnable.
+
+Two kinds of fenced blocks are verified:
+
+* ``python`` blocks in ``docs/*.md`` are executed verbatim (blocks within
+  one file share a namespace, so later blocks may build on earlier ones);
+* ``bash`` blocks in ``README.md`` and ``docs/*.md`` are scanned for
+  ``python -m repro.experiments ...`` command lines, which are dry-run
+  through the real CLI parser (``repro.experiments.__main__.build_parser``)
+  so renamed experiments or dropped flags fail the check without paying for
+  a full experiment run.
+
+Run from the repo root (CI's docs job does exactly this):
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Exits non-zero listing every failing snippet. The same checks run inside the
+tier-1 suite via ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def fenced_blocks(path: Path, language: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, body)`` for every fenced block of ``language``."""
+    text = path.read_text()
+    for match in FENCE.finditer(text):
+        if match.group(1) == language:
+            line = text[: match.start()].count("\n") + 1
+            yield line, match.group(2)
+
+
+def doc_files() -> List[Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [REPO_ROOT / "README.md", *docs]
+
+
+def check_python_blocks() -> List[str]:
+    """Execute every ``python`` block in docs/*.md; return failure messages."""
+    failures = []
+    for path in sorted((REPO_ROOT / "docs").glob("*.md")):
+        namespace: dict = {}
+        for line, body in fenced_blocks(path, "python"):
+            try:
+                exec(compile(body, f"{path.name}:{line}", "exec"), namespace)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                failures.append(f"{path.name}:{line}: python snippet failed: {exc!r}")
+    return failures
+
+
+def experiment_cli_argv(command: str) -> List[str] | None:
+    """The argv of a quoted experiments-CLI line, or ``None`` if it is not one.
+
+    Tolerates leading ``VAR=value`` assignments (the README quotes the
+    uninstalled ``PYTHONPATH=src python -m repro.experiments ...`` style) and
+    ``python3``.
+    """
+    tokens = shlex.split(command)
+    while tokens and "=" in tokens[0] and not tokens[0].startswith("-"):
+        tokens = tokens[1:]
+    if tokens[:3] in (
+        ["python", "-m", "repro.experiments"],
+        ["python3", "-m", "repro.experiments"],
+    ):
+        return tokens[3:]
+    return None
+
+
+def check_cli_lines() -> Tuple[List[str], int]:
+    """Dry-run every quoted experiments-CLI command line.
+
+    Returns ``(failures, checked_count)`` — callers must treat a zero count
+    as a failure so reworded commands cannot silently escape the check.
+    """
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.__main__ import build_parser
+
+    parser = build_parser()
+    failures = []
+    checked = 0
+    for path in doc_files():
+        for line, body in fenced_blocks(path, "bash"):
+            for offset, raw in enumerate(body.splitlines()):
+                command = raw.split("#", 1)[0].strip()
+                if not command or "repro.experiments" not in command:
+                    continue
+                where = f"{path.name}:{line + offset}"
+                argv = experiment_cli_argv(command)
+                if argv is None:
+                    failures.append(
+                        f"{where}: experiments-CLI line not in checkable form"
+                        f" (use `python -m repro.experiments ...`): {command}"
+                    )
+                    continue
+                checked += 1
+                try:
+                    args = parser.parse_args(argv)
+                except SystemExit:
+                    failures.append(f"{where}: CLI line no longer parses: {command}")
+                    continue
+                if args.experiment not in (None, "all") and args.experiment not in EXPERIMENTS:
+                    failures.append(f"{where}: unknown experiment {args.experiment!r}")
+    return failures, checked
+
+
+def main() -> int:
+    cli_failures, cli_count = check_cli_lines()
+    failures = check_python_blocks() + cli_failures
+    python_count = sum(
+        1 for p in (REPO_ROOT / "docs").glob("*.md") for _ in fenced_blocks(p, "python")
+    )
+    if python_count == 0:
+        failures.append("docs/*.md contain no python snippets — checker is vacuous")
+    if cli_count == 0:
+        failures.append("no experiments-CLI lines found — checker is vacuous")
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if not failures:
+        print(
+            f"docs OK ({python_count} python snippet(s) executed,"
+            f" {cli_count} CLI line(s) parsed)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,13 @@
 """Data model: records, answers and truth-discovery datasets."""
 
-from .columnar import AUTO_MIN_CLAIMS, ColumnarClaims, PairExpansion, resolve_engine
+from .columnar import (
+    AUTO_MIN_CLAIMS,
+    ColumnarClaims,
+    ColumnarHierarchy,
+    PairExpansion,
+    StaleEncodingError,
+    resolve_engine,
+)
 from .model import (
     Answer,
     DatasetError,
@@ -16,7 +23,9 @@ __all__ = [
     "ObjectContext",
     "DatasetError",
     "ColumnarClaims",
+    "ColumnarHierarchy",
     "PairExpansion",
+    "StaleEncodingError",
     "resolve_engine",
     "AUTO_MIN_CLAIMS",
 ]

@@ -16,16 +16,30 @@ long before the datasets reach the paper's Fig-12/Fig-13 scales.
   ``(n_slots,)`` array;
 * **claims** (records followed by answers, grouped by object) become four
   parallel arrays ``claim_obj / claim_claimant / claim_pos / claim_slot``
-  with their own CSR ``claim_offsets`` per object.
+  with their own CSR ``claim_offsets`` per object (``claim_is_answer``
+  distinguishes worker answers from source records).
 
 On top of the encoding the class offers the segment primitives the vectorized
 algorithms share — per-object normalize / argmax / log-softmax via
-``np.add.reduceat`` and friends — plus a lazily built claim x candidate
-:class:`PairExpansion` for the confusion-matrix EM steps (Dawid-Skene,
-ZenCrowd), where each claim contributes one term per candidate of its object.
+``np.add.reduceat`` and friends — plus two lazily built companions:
+
+* :class:`PairExpansion`, the claim x candidate cross-join used by the
+  confusion-matrix EM steps (Dawid-Skene, ZenCrowd, LFC) and by every
+  algorithm whose E-step evaluates a likelihood row per claim (TDH, LCA,
+  DOCS);
+* :class:`ColumnarHierarchy`, the integer-encoded view of the value
+  hierarchy: per-value and per-slot ancestor/descendant CSR index arrays,
+  depths, Euler-tour intervals for O(1) vectorized ancestor tests, and the
+  depth-1 "domain" ancestor used by DOCS. This is what lets the
+  hierarchy-aware algorithms (TDH, ASUMS) run without touching the Python
+  :class:`~repro.hierarchy.tree.Hierarchy` object inside EM loops.
 
 The encoding is built once and cached on the dataset
-(:meth:`TruthDiscoveryDataset.columnar`); any mutation invalidates the cache.
+(:meth:`TruthDiscoveryDataset.columnar`). Every encoding is stamped with the
+dataset's mutation :attr:`version`; ``add_record`` / ``add_answer`` bump the
+version, so a later ``dataset.columnar()`` call transparently rebuilds, and a
+*held* stale encoding can be detected with :meth:`ColumnarClaims.assert_fresh`
+(raises :class:`StaleEncodingError`).
 """
 
 from __future__ import annotations
@@ -43,6 +57,16 @@ ClaimantKey = Hashable
 #: vectorized path. Below it the dict loops win on constant factors and the
 #: reference implementation stays exercised by the ordinary test suite.
 AUTO_MIN_CLAIMS = 2048
+
+
+class StaleEncodingError(RuntimeError):
+    """A held :class:`ColumnarClaims` no longer matches its dataset.
+
+    Raised by :meth:`ColumnarClaims.assert_fresh` when ``add_record`` /
+    ``add_answer`` mutated the dataset after the encoding was built. Callers
+    should drop the stale object and re-fetch ``dataset.columnar()`` (which
+    rebuilds automatically).
+    """
 
 
 def resolve_engine(
@@ -67,6 +91,20 @@ def resolve_engine(
     )
 
 
+def csr_expand(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated index ranges ``starts[i] : starts[i] + counts[i]``.
+
+    The gather pattern behind every CSR cross-join here (claim x candidate,
+    claim x candidate-ancestor): ``out[k]`` walks each segment ``i`` in order,
+    offset by that segment's start.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + within
+
+
 class PairExpansion:
     """The claim x candidate cross-join used by confusion-matrix EM steps.
 
@@ -83,17 +121,12 @@ class PairExpansion:
 
     def __init__(self, col: "ColumnarClaims") -> None:
         sizes_per_claim = col.sizes[col.claim_obj]
-        n_pairs = int(sizes_per_claim.sum())
         self.pair_claim = np.repeat(
             np.arange(len(col.claim_obj), dtype=np.int64), sizes_per_claim
         )
         # pair_slot[p] = value_offsets[claim_obj[j]] + (rank of p within claim j)
-        ends = np.cumsum(sizes_per_claim)
-        within = np.arange(n_pairs, dtype=np.int64) - np.repeat(
-            ends - sizes_per_claim, sizes_per_claim
-        )
-        self.pair_slot = (
-            np.repeat(col.value_offsets[col.claim_obj], sizes_per_claim) + within
+        self.pair_slot = csr_expand(
+            col.value_offsets[col.claim_obj], sizes_per_claim
         )
         #: ``|Vo|`` of the object behind each pair (Laplace denominators).
         self.pair_size = sizes_per_claim[self.pair_claim].astype(np.float64)
@@ -132,6 +165,14 @@ class ColumnarClaims:
         ``claim_slot`` the global slot.
     claim_offsets:
         ``(n_objects + 1,)`` CSR offsets into the claim table per object.
+    claim_is_answer:
+        ``(n_claims,)`` bool — ``True`` for worker answers, ``False`` for
+        source records (TDH learns separate trust priors per claim kind).
+    claimant_is_worker:
+        ``(n_claimants,)`` bool — ``True`` for ``("worker", w)`` claimants.
+    version:
+        The dataset's mutation counter at build time; see
+        :meth:`assert_fresh`.
     """
 
     def __init__(self, dataset: "TruthDiscoveryDataset") -> None:
@@ -139,9 +180,11 @@ class ColumnarClaims:
         self.object_index: Dict["ObjectId", int] = {
             obj: i for i, obj in enumerate(self.objects)
         }
+        self.version = getattr(dataset, "_version", 0)
 
         claimant_index: Dict[ClaimantKey, int] = {}
         claimants: List[ClaimantKey] = []
+        claimant_is_worker: List[bool] = []
         value_index: Dict[Hashable, int] = {}
         values: List[Hashable] = []
 
@@ -151,16 +194,27 @@ class ColumnarClaims:
         claim_obj: List[int] = []
         claim_claimant: List[int] = []
         claim_pos: List[int] = []
+        claim_is_answer: List[bool] = []
+        # Slot-level candidate-ancestor CSR (Go(v) within Vo, as global
+        # slots), harvested from the per-object contexts while we are already
+        # walking them; ColumnarHierarchy packages these.
+        slot_anc_offsets = [0]
+        slot_anc_slots: List[int] = []
+        obj_has_hierarchy: List[bool] = []
 
         for oid, obj in enumerate(self.objects):
             ctx = dataset.context(obj)
-            for value in ctx.values:
+            start = value_offsets[-1]
+            for i, value in enumerate(ctx.values):
                 vid = value_index.get(value)
                 if vid is None:
                     vid = value_index[value] = len(values)
                     values.append(value)
                 slot_vid.append(vid)
-            value_offsets.append(value_offsets[-1] + ctx.size)
+                slot_anc_slots.extend(start + j for j in ctx.ancestor_sets[i])
+                slot_anc_offsets.append(len(slot_anc_slots))
+            value_offsets.append(start + ctx.size)
+            obj_has_hierarchy.append(ctx.has_hierarchy)
 
             # Records first, answers second — the claimant order every
             # reference ``_claims_of`` helper uses.
@@ -169,18 +223,22 @@ class ColumnarClaims:
                 if cid is None:
                     cid = claimant_index[source] = len(claimants)
                     claimants.append(source)
+                    claimant_is_worker.append(False)
                 claim_obj.append(oid)
                 claim_claimant.append(cid)
                 claim_pos.append(ctx.index[value])
+                claim_is_answer.append(False)
             for worker, value in dataset.answers_for(obj).items():
                 key: ClaimantKey = ("worker", worker)
                 cid = claimant_index.get(key)
                 if cid is None:
                     cid = claimant_index[key] = len(claimants)
                     claimants.append(key)
+                    claimant_is_worker.append(True)
                 claim_obj.append(oid)
                 claim_claimant.append(cid)
                 claim_pos.append(ctx.index[value])
+                claim_is_answer.append(True)
             claim_offsets.append(len(claim_obj))
 
         self.claimants = claimants
@@ -194,6 +252,8 @@ class ColumnarClaims:
         self.claim_obj = np.asarray(claim_obj, dtype=np.int64)
         self.claim_claimant = np.asarray(claim_claimant, dtype=np.int64)
         self.claim_pos = np.asarray(claim_pos, dtype=np.int64)
+        self.claim_is_answer = np.asarray(claim_is_answer, dtype=bool)
+        self.claimant_is_worker = np.asarray(claimant_is_worker, dtype=bool)
 
         self.sizes = np.diff(self.value_offsets)
         self.slot_obj = np.repeat(
@@ -201,7 +261,13 @@ class ColumnarClaims:
         )
         self.claim_slot = self.value_offsets[self.claim_obj] + self.claim_pos
         self.claim_vid = self.slot_vid[self.claim_slot]
+
+        self._slot_anc_offsets = np.asarray(slot_anc_offsets, dtype=np.int64)
+        self._slot_anc_slots = np.asarray(slot_anc_slots, dtype=np.int64)
+        self._obj_has_hierarchy = np.asarray(obj_has_hierarchy, dtype=bool)
+        self._tree = dataset.hierarchy
         self._pairs: Optional[PairExpansion] = None
+        self._hierarchy: Optional["ColumnarHierarchy"] = None
 
     # ------------------------------------------------------------------
     # shape accessors
@@ -228,6 +294,27 @@ class ColumnarClaims:
         if self._pairs is None:
             self._pairs = PairExpansion(self)
         return self._pairs
+
+    @property
+    def hierarchy(self) -> "ColumnarHierarchy":
+        """The integer-encoded hierarchy view, built on first use and cached."""
+        if self._hierarchy is None:
+            self._hierarchy = ColumnarHierarchy(self, self._tree)
+        return self._hierarchy
+
+    def assert_fresh(self, dataset: "TruthDiscoveryDataset") -> None:
+        """Raise :class:`StaleEncodingError` if ``dataset`` mutated since build.
+
+        ``dataset.columnar()`` always returns a fresh encoding; this guard is
+        for callers that *hold* a :class:`ColumnarClaims` across code that may
+        call ``add_record`` / ``add_answer`` (e.g. crowdsourcing rounds).
+        """
+        if getattr(dataset, "_version", 0) != self.version:
+            raise StaleEncodingError(
+                f"columnar encoding built at dataset version {self.version} but"
+                f" the dataset is now at version {getattr(dataset, '_version', 0)};"
+                " re-fetch dataset.columnar()"
+            )
 
     # ------------------------------------------------------------------
     # segment primitives (one segment per object)
@@ -276,6 +363,17 @@ class ColumnarClaims:
         """Claims per slot (records + answers) -> ``(n_slots,)`` floats."""
         return np.bincount(self.claim_slot, minlength=self.n_slots).astype(np.float64)
 
+    def record_counts(self) -> np.ndarray:
+        """*Source* claims per slot (answers excluded) -> ``(n_slots,)`` floats.
+
+        The flat counterpart of :func:`repro.inference.base.claim_counts`;
+        TDH's popularity terms and DOCS's domain extraction are defined over
+        source claims only.
+        """
+        return np.bincount(
+            self.claim_slot[~self.claim_is_answer], minlength=self.n_slots
+        ).astype(np.float64)
+
     def weighted_counts(self, claimant_weights: np.ndarray) -> np.ndarray:
         """Per-slot sum of claimant weights -> ``(n_slots,)``."""
         return np.bincount(
@@ -313,4 +411,144 @@ class ColumnarClaims:
         return (
             f"ColumnarClaims(objects={self.n_objects}, claimants={self.n_claimants},"
             f" slots={self.n_slots}, claims={self.n_claims})"
+        )
+
+
+class ColumnarHierarchy:
+    """Integer-encoded view of the value hierarchy, keyed by the encoding's ids.
+
+    Two granularities, both CSR:
+
+    * **value level** (global, keyed by ``vid``): ``anc_offsets`` /
+      ``anc_vids`` list each encoded value's proper non-root ancestors
+      (nearest first) *that are themselves encoded values*;
+      ``desc_offsets`` / ``desc_vids`` are the inverse (encoded proper
+      descendants, no order guarantee). ``depth[vid]`` is the tree depth and
+      ``top_code[vid]`` a dense id for the depth-1 ancestor (the value itself
+      at depth 1) — DOCS's "domain".
+    * **slot level** (per object, keyed by global slot): ``slot_anc_offsets``
+      / ``slot_anc_slots`` encode ``Go(v)`` — the candidate ancestors of each
+      slot's value *within the same object's* ``Vo`` — in the exact order of
+      ``ObjectContext.ancestor_sets``; ``slot_desc_offsets`` /
+      ``slot_desc_slots`` encode ``Do(v)``. ``slot_gsize`` is ``|Go(v)|``
+      and ``obj_has_hierarchy`` flags the objects in ``OH``.
+
+    For arbitrary vectorized ancestor tests the tree is additionally labelled
+    with an Euler tour: ``tin[vid]`` / ``tout[vid]`` bound each value's
+    subtree interval, so ``u`` is a proper ancestor of ``v`` iff
+    ``tin[u] < tin[v] <= tout[u]`` (:meth:`is_ancestor_vid`). That turns the
+    per-claim-per-candidate hierarchy checks of the TDH likelihood (Eq. 1/3)
+    into three array comparisons.
+    """
+
+    def __init__(self, col: ColumnarClaims, tree) -> None:
+        self.n_values = len(col.values)
+
+        # --- Euler tour over the tree (iterative DFS, child order as built).
+        tin: Dict[Hashable, int] = {}
+        tout: Dict[Hashable, int] = {}
+        clock = 0
+        stack: List[tuple] = [(tree.root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                tout[node] = clock
+                continue
+            clock += 1
+            tin[node] = clock
+            stack.append((node, True))
+            for child in reversed(tree.children(node)):
+                stack.append((child, False))
+
+        self.depth = np.asarray(
+            [tree.depth(value) for value in col.values], dtype=np.int64
+        )
+        self.tin = np.asarray([tin[value] for value in col.values], dtype=np.int64)
+        self.tout = np.asarray([tout[value] for value in col.values], dtype=np.int64)
+
+        # --- value-level ancestor CSR (encoded ancestors only, nearest first)
+        # plus the depth-1 "domain" ancestor per value.
+        anc_offsets = [0]
+        anc_vids: List[int] = []
+        top_values: List[Hashable] = []
+        for value in col.values:
+            chain = tree.ancestors(value)  # nearest first, root excluded
+            anc_vids.extend(
+                col.value_index[a] for a in chain if a in col.value_index
+            )
+            anc_offsets.append(len(anc_vids))
+            top_values.append(chain[-1] if chain else value)
+        self.anc_offsets = np.asarray(anc_offsets, dtype=np.int64)
+        self.anc_vids = np.asarray(anc_vids, dtype=np.int64)
+
+        top_index: Dict[Hashable, int] = {}
+        top_code: List[int] = []
+        for top in top_values:
+            code = top_index.get(top)
+            if code is None:
+                code = top_index[top] = len(top_index)
+            top_code.append(code)
+        self.top_values = top_values
+        self.domains: List[Hashable] = list(top_index)
+        self.top_code = np.asarray(top_code, dtype=np.int64)
+
+        # --- value-level descendant CSR: invert the ancestor pairs.
+        owner = np.repeat(
+            np.arange(self.n_values, dtype=np.int64), np.diff(self.anc_offsets)
+        )
+        order = np.argsort(self.anc_vids, kind="stable")
+        self.desc_vids = owner[order]
+        desc_counts = np.bincount(self.anc_vids, minlength=self.n_values)
+        self.desc_offsets = np.concatenate(
+            ([0], np.cumsum(desc_counts))
+        ).astype(np.int64)
+
+        # --- slot-level CSR, harvested by ColumnarClaims from the contexts.
+        self.slot_anc_offsets = col._slot_anc_offsets
+        self.slot_anc_slots = col._slot_anc_slots
+        self.slot_gsize = np.diff(self.slot_anc_offsets)
+        slot_owner = np.repeat(
+            np.arange(col.n_slots, dtype=np.int64), self.slot_gsize
+        )
+        slot_order = np.argsort(self.slot_anc_slots, kind="stable")
+        self.slot_desc_slots = slot_owner[slot_order]
+        slot_desc_counts = np.bincount(self.slot_anc_slots, minlength=col.n_slots)
+        self.slot_desc_offsets = np.concatenate(
+            ([0], np.cumsum(slot_desc_counts))
+        ).astype(np.int64)
+        self.obj_has_hierarchy = col._obj_has_hierarchy
+        self.slot_depth = self.depth[col.slot_vid]
+
+    # ------------------------------------------------------------------
+    def ancestors_of_vid(self, vid: int) -> np.ndarray:
+        """Encoded ancestor vids of ``vid``, nearest first."""
+        return self.anc_vids[self.anc_offsets[vid] : self.anc_offsets[vid + 1]]
+
+    def descendants_of_vid(self, vid: int) -> np.ndarray:
+        """Encoded proper-descendant vids of ``vid``."""
+        return self.desc_vids[self.desc_offsets[vid] : self.desc_offsets[vid + 1]]
+
+    def ancestors_of_slot(self, slot: int) -> np.ndarray:
+        """``Go(v)`` of a slot as global slots of the same object."""
+        return self.slot_anc_slots[
+            self.slot_anc_offsets[slot] : self.slot_anc_offsets[slot + 1]
+        ]
+
+    def descendants_of_slot(self, slot: int) -> np.ndarray:
+        """``Do(v)`` of a slot as global slots of the same object."""
+        return self.slot_desc_slots[
+            self.slot_desc_offsets[slot] : self.slot_desc_offsets[slot + 1]
+        ]
+
+    def is_ancestor_vid(self, u_vids: np.ndarray, v_vids: np.ndarray) -> np.ndarray:
+        """Elementwise "``u`` is a proper non-root ancestor of ``v``" test."""
+        return (self.tin[u_vids] < self.tin[v_vids]) & (
+            self.tout[v_vids] <= self.tout[u_vids]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ColumnarHierarchy(values={self.n_values},"
+            f" anc_pairs={len(self.anc_vids)},"
+            f" slot_anc_pairs={len(self.slot_anc_slots)})"
         )

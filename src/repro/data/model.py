@@ -116,6 +116,7 @@ class TruthDiscoveryDataset:
         self._objects_by_worker: Dict[WorkerId, List[ObjectId]] = {}
         self._contexts: Dict[ObjectId, ObjectContext] = {}
         self._columnar = None  # lazily built ColumnarClaims, see columnar()
+        self._version = 0  # mutation counter stamped onto every encoding
 
         for record in records:
             self.add_record(record)
@@ -133,7 +134,7 @@ class TruthDiscoveryDataset:
             self._objects_by_source.setdefault(record.source, []).append(record.object)
         claims[record.source] = record.value
         self._contexts.pop(record.object, None)
-        self._columnar = None
+        self._invalidate_columnar()
 
     def add_answer(self, answer: Answer) -> None:
         """Add (or overwrite) a worker answer.
@@ -152,6 +153,16 @@ class TruthDiscoveryDataset:
         if answer.worker not in claims:
             self._objects_by_worker.setdefault(answer.worker, []).append(answer.object)
         claims[answer.worker] = answer.value
+        self._invalidate_columnar()
+
+    def _invalidate_columnar(self) -> None:
+        """Bump the mutation counter and free the cached encoding eagerly.
+
+        The version bump is what detects stale *held* encodings; dropping the
+        reference as well keeps a mutate-heavy dataset from pinning the old
+        arrays (and their PairExpansion) until the next ``columnar()`` call.
+        """
+        self._version += 1
         self._columnar = None
 
     def _check_value(self, value: Value) -> None:
@@ -265,13 +276,17 @@ class TruthDiscoveryDataset:
     def columnar(self):
         """The cached :class:`~repro.data.columnar.ColumnarClaims` encoding.
 
-        Built on first use; any :meth:`add_record` / :meth:`add_answer`
-        invalidates it, so callers can hold the returned object only within
-        one inference run over an unchanging dataset.
+        Built on first use. Every encoding is stamped with the dataset's
+        mutation counter; :meth:`add_record` / :meth:`add_answer` bump it, so
+        an access after a mutation transparently rebuilds instead of serving
+        stale arrays. Callers that hold the returned object across possible
+        mutations can detect staleness with
+        :meth:`~repro.data.columnar.ColumnarClaims.assert_fresh` (raises
+        :class:`~repro.data.columnar.StaleEncodingError`).
         """
         from .columnar import ColumnarClaims
 
-        if self._columnar is None:
+        if self._columnar is None or self._columnar.version != self._version:
             self._columnar = ColumnarClaims(self)
         return self._columnar
 

@@ -7,7 +7,8 @@ import sys
 from . import EXPERIMENTS
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (importable so docs checks can dry-run it)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -34,6 +35,11 @@ def main(argv=None) -> int:
             " selection (auto, default)"
         ),
     )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment is None:
         parser.print_help()

@@ -101,21 +101,23 @@ def inference_factories(
     """The ten single-truth inference algorithms of Table 3.
 
     ``engine`` (``"auto"`` / ``"reference"`` / ``"columnar"``) selects the
-    execution engine for the algorithms that ship a columnar fast path
-    (currently VOTE and CRH); the rest ignore it.
+    execution engine for the algorithms that ship a columnar fast path —
+    all of them except MDC; see ``docs/algorithms.md`` for the matrix.
     """
     iters = s.em_iterations
     tol = s.em_tol
     return {
-        "TDH": lambda: TDHModel(max_iter=iters, tol=tol),
+        "TDH": lambda: TDHModel(max_iter=iters, tol=tol, use_columnar=engine),
         "VOTE": lambda: Vote(use_columnar=engine),
-        "LCA": lambda: GuessLca(max_iter=iters, tol=tol),
-        "DOCS": lambda: Docs(max_iter=iters, tol=tol),
-        "ASUMS": lambda: Asums(max_iter=iters, tol=tol),
+        "LCA": lambda: GuessLca(max_iter=iters, tol=tol, use_columnar=engine),
+        "DOCS": lambda: Docs(max_iter=iters, tol=tol, use_columnar=engine),
+        "ASUMS": lambda: Asums(max_iter=iters, tol=tol, use_columnar=engine),
         "MDC": lambda: Mdc(max_iter=min(iters, 20), tol=tol),
-        "ACCU": lambda: Accu(max_iter=min(iters, 15), tol=tol),
-        "POPACCU": lambda: PopAccu(max_iter=min(iters, 15), tol=tol),
-        "LFC": lambda: Lfc(max_iter=min(iters, 20), tol=tol),
+        "ACCU": lambda: Accu(max_iter=min(iters, 15), tol=tol, use_columnar=engine),
+        "POPACCU": lambda: PopAccu(
+            max_iter=min(iters, 15), tol=tol, use_columnar=engine
+        ),
+        "LFC": lambda: Lfc(max_iter=min(iters, 20), tol=tol, use_columnar=engine),
         "CRH": lambda: Crh(max_iter=min(iters, 20), tol=tol, use_columnar=engine),
     }
 

@@ -5,10 +5,10 @@ EAI assignment runs with and without the Lemma-4.1 upper-bound pruning. The
 assignments must be identical; the pruned variant should evaluate far fewer
 EAI scores and run faster as the scale grows.
 
-The ``engine`` switch additionally times one representative truth-inference
-pass (CRH, which ships both execution paths) per scale factor, so the same
-experiment shows how the columnar claim engine bends the inference-time
-curve as the object count grows.
+The ``engine`` switch selects the execution path both for the TDH fit that
+feeds EAI and for one separately timed representative truth-inference pass
+(CRH), so the same experiment shows how the columnar claim engine bends the
+inference-time curve as the object count grows.
 """
 
 from __future__ import annotations
@@ -36,7 +36,9 @@ def run(
         rows = []
         for factor in factors:
             scaled = dataset.scaled(factor)
-            model = TDHModel(max_iter=min(s.em_iterations, 15), tol=s.em_tol)
+            model = TDHModel(
+                max_iter=min(s.em_iterations, 15), tol=s.em_tol, use_columnar=engine
+            )
             result = model.fit(scaled)
 
             crh = Crh(max_iter=min(s.em_iterations, 20), tol=s.em_tol,

@@ -1,14 +1,35 @@
 """Per-object likelihood structures shared by TDH inference and EAI assignment.
 
 For every object ``o`` the EM algorithm repeatedly evaluates the claim
-likelihoods of Eq. (1)-(4). Because the candidate set, the ancestor structure
-and the source claim counts are fixed during inference, the value-independent
-pieces can be pre-assembled into small matrices, after which a likelihood row
-is three vector operations.
+likelihoods of Eq. (1)-(4):
+
+* **Eq. (1)** (sources, ``o in OH``): ``P(claim u | truth v, phi_s)`` is
+  ``phi_1`` for ``u = v``, ``phi_2 / |Go(v)|`` for ``u in Go(v)`` and
+  ``phi_3 / (|Vo| - |Go(v)| - 1)`` otherwise;
+* **Eq. (2)** (sources, flat objects): the case-2 channel collapses onto the
+  exact match, giving ``phi_1 + phi_2`` for ``u = v`` and
+  ``phi_3 / (|Vo| - 1)`` otherwise;
+* **Eq. (3)/(4)** (workers): the same shape with ``psi_w``, except cases 2/3
+  redistribute their mass by the source-claim popularity terms
+  ``Pop2(u|v) = c(u) / sum_{u' in Go(v)} c(u')`` and
+  ``Pop3(u|v) = c(u) / (c(o) - c(v) - sum_{Go(v)} c)``.
+
+These likelihoods feed both TDH's E-step responsibilities ``f`` / ``g`` and
+the EAI assigner's incremental one-step EM (Eq. 16-18). Because the candidate
+set, the ancestor structure and the source claim counts are fixed during
+inference, the value-independent pieces can be pre-assembled into small
+matrices, after which a likelihood row is three vector operations.
 
 Conventions: matrices are ``(n, n)`` with **rows = claimed value u** and
 **columns = hypothesised truth v**; ``A[u, v]`` is ``True`` iff ``u`` is a
 (candidate) ancestor of ``v``, i.e. ``u in Go(v)``.
+
+This module is the *reference-engine* (and EAI) representation. The columnar
+TDH engine evaluates exactly the same case weights, but flattened to one
+entry per claim x candidate pair over the CSR arrays of
+:class:`~repro.data.columnar.ColumnarHierarchy` — see
+``TDHModel._pair_case_arrays``. Keep the two in lock-step: the parity suite
+(``tests/test_columnar_parity.py``) will catch any drift.
 """
 
 from __future__ import annotations

@@ -8,17 +8,30 @@ distribution ``q_o`` (the popularity of candidate values), so
 ``P(claim = u | truth = v) = h_s               if u = v``
 ``P(claim = u | truth = v) = (1-h_s) q_o(u|not v)  otherwise``
 
-EM alternates between posterior truth confidences and honesty updates.
+EM alternates between the two updates per round:
+
+* **E-step**: ``mu_{o,v} proportional to mu_{o,v} prod_claims L(u | v, h_s)``
+  with the likelihood above and ``q_o(u | not v) = q_o(u) / (1 - q_o(v))``;
+* **M-step**: ``h_s = (sum_claims mu_{o,u} + k) / (|claims_s| + 2k)`` — the
+  Beta-smoothed expected fraction of honest claims.
+
+The columnar engine (``use_columnar``) evaluates the likelihood per claim x
+candidate pair over the :class:`~repro.data.columnar.PairExpansion` (the
+guess distribution ``q`` is one flat per-slot array) and reduces with
+``np.bincount``; the dict loops stay as the reference, parity within 1e-8
+enforced by ``tests/test_columnar_parity.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Union
 
 import numpy as np
 
+from ..data.columnar import resolve_engine
 from ..data.model import ObjectId, TruthDiscoveryDataset
 from .base import (
+    ColumnarInferenceResult,
     InferenceResult,
     TruthInferenceAlgorithm,
     claim_counts,
@@ -37,6 +50,9 @@ class GuessLca(TruthInferenceAlgorithm):
         EM stopping rule on confidence change.
     smoothing:
         Beta-style pseudo-counts on the honesty update.
+    use_columnar:
+        Engine selector (``True`` / ``False`` / ``"auto"``); see
+        :func:`repro.data.columnar.resolve_engine`.
     """
 
     name = "LCA"
@@ -48,13 +64,71 @@ class GuessLca(TruthInferenceAlgorithm):
         max_iter: int = 50,
         tol: float = 1e-5,
         smoothing: float = 1.0,
+        use_columnar: Union[bool, str] = "auto",
     ) -> None:
         self.prior_honesty = prior_honesty
         self.max_iter = max_iter
         self.tol = tol
         self.smoothing = smoothing
+        self.use_columnar = use_columnar
 
     def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        if resolve_engine(self.use_columnar, dataset):
+            return self._fit_columnar(dataset)
+        return self._fit_reference(dataset)
+
+    # ------------------------------------------------------------------
+    # columnar engine
+    # ------------------------------------------------------------------
+    def _fit_columnar(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+        col = dataset.columnar()
+        pairs = col.pairs
+        mu = col.initial_confidences_flat()
+        honesty = np.full(col.n_claimants, self.prior_honesty, dtype=np.float64)
+        counts = col.claimant_counts()
+
+        # Guess distribution q from claim popularity, smoothed so every
+        # candidate is guessable.
+        q = col.segment_normalize(col.vote_counts() + 1.0)
+        q_claimed = q[col.claim_slot]  # q_o(u) of each claim's value
+
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iter + 1):
+            h = honesty[col.claim_claimant]
+            miss = ((1.0 - h) * q_claimed)[pairs.pair_claim] / np.maximum(
+                1.0 - q[pairs.pair_slot], 1e-9
+            )
+            like = np.where(pairs.pair_is_claimed, h[pairs.pair_claim], miss)
+            contrib = np.log(np.maximum(like, 1e-12))
+            log_post = np.log(np.maximum(mu, 1e-12)) + np.bincount(
+                pairs.pair_slot, weights=contrib, minlength=col.n_slots
+            )
+            posterior = col.segment_softmax(log_post)
+            delta = float(np.max(np.abs(posterior - mu))) if col.n_slots else 0.0
+            mu = posterior
+            correct_mass = np.bincount(
+                col.claim_claimant,
+                weights=posterior[col.claim_slot],
+                minlength=col.n_claimants,
+            )
+            honesty = np.clip(
+                (correct_mass + self.smoothing)
+                / (counts + 2.0 * self.smoothing),
+                0.01,
+                0.99,
+            )
+            if delta < self.tol:
+                converged = True
+                break
+        result = ColumnarInferenceResult(dataset, col, mu, iterations, converged)
+        result.honesty = col.claimant_mapping(honesty)  # type: ignore[attr-defined]
+        return result
+
+    # ------------------------------------------------------------------
+    # reference engine
+    # ------------------------------------------------------------------
+    def _fit_reference(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
         mu = initial_confidences(dataset)
         claims_cache = {obj: self._claims_of(dataset, obj) for obj in dataset.objects}
         claimants = {c for claims in claims_cache.values() for c in claims}

@@ -7,9 +7,27 @@ distribution ``mu_o`` over its candidate values. This module implements the
 MAP EM of Section 3.2:
 
 * **E-step** (Figure 4): posterior truth responsibilities ``f`` for every
-  record/answer and case responsibilities ``g`` per claim;
-* **M-step**: Dirichlet-smoothed closed-form updates, Eq. (9)-(11);
+  record/answer and case responsibilities ``g`` per claim:
+  ``f_{c,v} = P(claim u | truth v, phi_c) mu_{o,v} / Z_c`` with
+  ``Z_c = sum_v' P(u | v', phi_c) mu_{o,v'}``, and
+  ``g_{c,k} = phi_{c,k} L_k(u | .) . mu_o / Z_c`` for the three
+  interpretation cases k (exact / generalized / wrong);
+* **M-step**: Dirichlet-smoothed closed-form updates, Eq. (9)-(11) —
+  ``mu_{o,v} = (sum_c f_{c,v} + gamma - 1) / (|claims_o| + |Vo|(gamma - 1))``
+  and ``phi_{s,k} = (sum_c g_{c,k} + alpha_k - 1) / (|Os| + sum(alpha) - 3)``
+  (same shape with ``beta`` for worker ``psi``);
 * **truth**: argmax confidence, Eq. (12).
+
+Two execution engines implement the identical updates. The reference engine
+walks per-object dicts with the small per-object likelihood matrices of
+:mod:`repro.inference._structures`. The columnar engine (``use_columnar``)
+evaluates the case weights of Eq. (1)-(4) once per claim x candidate pair —
+the ancestor tests come from
+:class:`~repro.data.columnar.ColumnarHierarchy`'s Euler intervals, the
+popularity denominators from its CSR ancestor arrays — after which every EM
+round is a handful of ``np.bincount`` scatter/gathers over the flat claim
+table. Parity (1e-8, identical iteration counts) is enforced by
+``tests/test_columnar_parity.py``.
 
 The result object additionally exposes the numerators ``N_{o,v}`` and
 denominators ``D_o`` of Eq. (9), which the EAI task assigner's incremental
@@ -18,10 +36,11 @@ EM (Section 4.2) reuses.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..data.columnar import ColumnarClaims, resolve_engine
 from ..data.model import ObjectId, SourceId, TruthDiscoveryDataset, WorkerId
 from ._structures import ObjectStructure, StructureCache
 from .base import InferenceResult, TruthInferenceAlgorithm
@@ -102,6 +121,9 @@ class TDHModel(TruthInferenceAlgorithm):
         Ablation switch: ``False`` disables the Eq. (2)/(4) special case for
         objects outside ``OH``, leaving their case-2 channel unsupported —
         the configuration the paper warns underestimates ``phi_2``.
+    use_columnar:
+        Engine selector (``True`` / ``False`` / ``"auto"``); see
+        :func:`repro.data.columnar.resolve_engine`.
     """
 
     name = "TDH"
@@ -117,6 +139,7 @@ class TDHModel(TruthInferenceAlgorithm):
         use_hierarchy: bool = True,
         use_popularity: bool = True,
         collapse_flat_objects: bool = True,
+        use_columnar: Union[bool, str] = "auto",
     ) -> None:
         self.alpha = np.asarray(alpha, dtype=float)
         self.beta = np.asarray(beta, dtype=float)
@@ -130,6 +153,7 @@ class TDHModel(TruthInferenceAlgorithm):
         self.use_hierarchy = use_hierarchy
         self.use_popularity = use_popularity
         self.collapse_flat_objects = collapse_flat_objects
+        self.use_columnar = use_columnar
 
     def make_structure_cache(self, dataset: TruthDiscoveryDataset) -> StructureCache:
         """A structure cache matching this model's ablation flags."""
@@ -154,6 +178,218 @@ class TDHModel(TruthInferenceAlgorithm):
         avoid re-learning from scratch every round. ``structures`` may share a
         :class:`StructureCache` across fits on identical records.
         """
+        if resolve_engine(self.use_columnar, dataset):
+            return self._fit_columnar(dataset, warm_start, structures)
+        return self._fit_reference(dataset, warm_start, structures)
+
+    # ------------------------------------------------------------------
+    # columnar engine
+    # ------------------------------------------------------------------
+    def _pair_case_arrays(self, col: ColumnarClaims):
+        """Per claim x candidate case weights of Eq. (1)-(4), as flat arrays.
+
+        Element ``p`` of each returned array is the corresponding entry
+        ``[u, v]`` of the reference :class:`ObjectStructure` matrices, where
+        ``u`` is the pair's claimed value and ``v`` its hypothesised truth.
+        The ablation flags are honoured exactly as in
+        :func:`repro.inference._structures.build_structure`.
+        """
+        pairs = col.pairs
+        n_pairs = len(pairs.pair_claim)
+        n = pairs.pair_size  # |Vo| per pair, float
+        exact_f = pairs.pair_is_claimed.astype(np.float64)
+
+        if self.use_hierarchy:
+            # Only this ablation branch needs the encoded hierarchy; keep the
+            # hierarchy-blind variant from paying for its construction.
+            hier = col.hierarchy
+            anc = hier.is_ancestor_vid(
+                col.claim_vid[pairs.pair_claim], col.slot_vid[pairs.pair_slot]
+            )
+            gsize = hier.slot_gsize[pairs.pair_slot].astype(np.float64)
+            hflag_obj = (
+                np.ones(col.n_objects, dtype=bool)
+                if not self.collapse_flat_objects
+                else hier.obj_has_hierarchy
+            )
+        else:
+            anc = np.zeros(n_pairs, dtype=bool)
+            gsize = np.zeros(n_pairs, dtype=np.float64)
+            hflag_obj = np.zeros(col.n_objects, dtype=bool)
+        hflag = hflag_obj[col.claim_obj[pairs.pair_claim]]
+        anc_f = anc.astype(np.float64)
+        case3_f = (~pairs.pair_is_claimed & ~anc).astype(np.float64)
+
+        # Eq. (1)/(2): generalized truths uniform over Go(v); wrong values
+        # uniform over the remaining candidates (all non-truth ones for
+        # objects outside OH).
+        src2_h = np.where(gsize > 0, anc_f / np.maximum(gsize, 1.0), 0.0)
+        wrong = n - gsize - 1.0
+        src3_h = np.where(wrong > 0, case3_f / np.maximum(wrong, 1.0), 0.0)
+        src3_flat = np.where(n > 1, case3_f / np.maximum(n - 1.0, 1.0), 0.0)
+        source_case2 = np.where(hflag, src2_h, exact_f)
+        source_case3 = np.where(hflag, src3_h, src3_flat)
+
+        if not self.use_popularity:
+            return exact_f, source_case2, source_case3, source_case2, source_case3
+
+        # Eq. (3): Pop2/Pop3 redistribute the worker case mass by how often
+        # sources claimed each value.
+        counts = col.record_counts()
+        if self.use_hierarchy:
+            anc_owner = np.repeat(
+                np.arange(col.n_slots, dtype=np.int64), hier.slot_gsize
+            )
+            pop2_slot = np.bincount(
+                anc_owner, weights=counts[hier.slot_anc_slots], minlength=col.n_slots
+            )
+        else:
+            pop2_slot = np.zeros(col.n_slots, dtype=np.float64)
+        total_obj = col.segment_sum(counts)
+        pop3_slot = total_obj[col.slot_obj] - counts - pop2_slot
+
+        u_counts = counts[col.claim_slot[pairs.pair_claim]]
+        pop2 = pop2_slot[pairs.pair_slot]
+        pop3 = pop3_slot[pairs.pair_slot]
+        wrk2_h = np.where(pop2 > 0, anc_f * u_counts / np.maximum(pop2, 1.0), 0.0)
+        worker_case2 = np.where(hflag, wrk2_h, exact_f)
+        worker_case3 = np.where(pop3 > 0, case3_f * u_counts / np.maximum(pop3, 1.0), 0.0)
+        return exact_f, source_case2, source_case3, worker_case2, worker_case3
+
+    def _fit_columnar(
+        self,
+        dataset: TruthDiscoveryDataset,
+        warm_start: Optional[TDHResult],
+        structures: Optional[StructureCache],
+    ) -> TDHResult:
+        col = dataset.columnar()
+        pairs = col.pairs
+        cache = structures if structures is not None else self.make_structure_cache(dataset)
+        prior_phi = self.alpha / self.alpha.sum()
+        prior_psi = self.beta / self.beta.sum()
+        is_worker = col.claimant_is_worker
+
+        trust = np.where(is_worker[:, None], prior_psi, prior_phi)
+        if warm_start is not None:
+            for cid, key in enumerate(col.claimants):
+                vec = (
+                    warm_start.psi.get(key[1])
+                    if is_worker[cid]
+                    else warm_start.phi.get(key)
+                )
+                if vec is not None:
+                    trust[cid] = vec
+
+        exact_f, src2, src3, wrk2, wrk3 = self._pair_case_arrays(col)
+        is_answer_pair = col.claim_is_answer[pairs.pair_claim]
+        case2 = np.where(is_answer_pair, wrk2, src2)
+        case3 = np.where(is_answer_pair, wrk3, src3)
+        pair_claimant = col.claim_claimant[pairs.pair_claim]
+
+        mu = col.initial_confidences_flat()
+        gamma_minus_1 = self.gamma - 1.0
+        denom_obj = (
+            np.diff(col.claim_offsets).astype(np.float64)
+            + col.sizes * gamma_minus_1
+        )
+        den_slot = denom_obj[col.slot_obj]
+        den_positive = den_slot > 0
+        den_safe = np.where(den_positive, den_slot, 1.0)
+        uniform_slot = 1.0 / col.sizes.astype(np.float64)[col.slot_obj]
+        prior_m1 = np.where(is_worker[:, None], self.beta - 1.0, self.alpha - 1.0)
+        prior_mean = np.where(is_worker[:, None], prior_psi, prior_phi)
+
+        numer_flat = np.zeros(col.n_slots, dtype=np.float64)
+        iterations = 0
+        converged = False
+        third = 1.0 / 3.0
+
+        for iterations in range(1, self.max_iter + 1):
+            # E-step: likelihood of every claim under every candidate truth.
+            like = (
+                trust[:, 0][pair_claimant] * exact_f
+                + trust[:, 1][pair_claimant] * case2
+                + trust[:, 2][pair_claimant] * case3
+            )
+            joint = like * mu[pairs.pair_slot]
+            z = np.bincount(pairs.pair_claim, weights=joint, minlength=col.n_claims)
+            zpos = z > 0
+            z_safe = np.where(zpos, z, 1.0)
+            # Degenerate claims (z <= 0) fall back to the prior confidence,
+            # exactly like the reference sweep.
+            f = np.where(
+                zpos[pairs.pair_claim],
+                joint / z_safe[pairs.pair_claim],
+                mu[pairs.pair_slot],
+            )
+            f_sum = np.bincount(pairs.pair_slot, weights=f, minlength=col.n_slots)
+
+            # Case responsibilities g per claim (Figure 4).
+            t_claim = trust[col.claim_claimant]
+            s2 = np.bincount(
+                pairs.pair_claim,
+                weights=case2 * mu[pairs.pair_slot],
+                minlength=col.n_claims,
+            )
+            g1 = np.where(zpos, t_claim[:, 0] * mu[col.claim_slot] / z_safe, third)
+            g2 = np.where(zpos, t_claim[:, 1] * s2 / z_safe, third)
+            g3 = np.where(zpos, np.maximum(0.0, 1.0 - g1 - g2), third)
+            g_sums = np.stack(
+                [
+                    np.bincount(col.claim_claimant, weights=g, minlength=col.n_claimants)
+                    for g in (g1, g2, g3)
+                ],
+                axis=1,
+            )
+
+            # M-step for trustworthiness (Eq. 10-11).
+            count_c = g_sums.sum(axis=1)
+            denom_c = count_c + prior_m1.sum(axis=1)
+            vec = (g_sums + prior_m1) / np.where(denom_c > 0, denom_c, 1.0)[:, None]
+            vec = np.clip(vec, 1e-12, None)
+            vec = vec / vec.sum(axis=1, keepdims=True)
+            trust = np.where((denom_c > 0)[:, None], vec, prior_mean)
+
+            # M-step for confidences (Eq. 9).
+            numer_flat = f_sum + gamma_minus_1
+            new_mu = np.where(den_positive, numer_flat / den_safe, uniform_slot)
+            delta = float(np.max(np.abs(new_mu - mu))) if col.n_slots else 0.0
+            mu = new_mu
+            if delta < self.tol:
+                converged = True
+                break
+
+        phi: Dict[SourceId, np.ndarray] = {}
+        psi: Dict[WorkerId, np.ndarray] = {}
+        for cid, key in enumerate(col.claimants):
+            if is_worker[cid]:
+                psi[key[1]] = trust[cid].copy()
+            else:
+                phi[key] = trust[cid].copy()
+
+        return TDHResult(
+            dataset=dataset,
+            confidences=col.to_confidences(mu),
+            phi=phi,
+            psi=psi,
+            numerators=col.to_confidences(numer_flat),
+            denominators={
+                obj: float(denom_obj[oid]) for oid, obj in enumerate(col.objects)
+            },
+            structures=cache,
+            iterations=iterations,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    # reference engine
+    # ------------------------------------------------------------------
+    def _fit_reference(
+        self,
+        dataset: TruthDiscoveryDataset,
+        warm_start: Optional[TDHResult] = None,
+        structures: Optional[StructureCache] = None,
+    ) -> TDHResult:
         cache = structures if structures is not None else self.make_structure_cache(dataset)
         objects = dataset.objects
         prior_phi = self.alpha / self.alpha.sum()

@@ -1,0 +1,44 @@
+"""The docs/ code snippets and quoted CLI lines must stay runnable.
+
+Thin wrapper around ``scripts/check_docs.py`` so snippet rot fails the
+tier-1 suite too, not just CI's docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist_and_are_cross_linked():
+    architecture = REPO_ROOT / "docs" / "architecture.md"
+    algorithms = REPO_ROOT / "docs" / "algorithms.md"
+    assert architecture.is_file() and algorithms.is_file()
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/architecture.md" in readme
+    assert "docs/algorithms.md" in readme
+
+
+def test_docs_python_snippets_execute():
+    checker = load_checker()
+    assert checker.check_python_blocks() == []
+
+
+def test_docs_cli_lines_parse():
+    checker = load_checker()
+    failures, checked = checker.check_cli_lines()
+    assert failures == []
+    assert checked > 0, "no CLI lines found — the check would be vacuous"
