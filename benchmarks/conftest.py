@@ -2,11 +2,38 @@
 minutes while preserving every comparison's shape. Pass --full-scale through
 the REPRO_BENCH_FULL=1 environment variable to use the paper's sizes."""
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 import repro.experiments.common as common
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+
+@pytest.fixture(scope="session")
+def merge_bench_artifact():
+    """Read-modify-write top-level sections of ``BENCH_columnar.json``.
+
+    The speedup and appender benchmarks each own different keys of the same
+    artifact; merging through one helper keeps them from clobbering each
+    other regardless of execution order.
+    """
+
+    def merge(**sections) -> None:
+        data = {}
+        if ARTIFACT.exists():
+            try:
+                data = json.loads(ARTIFACT.read_text())
+            except ValueError:
+                data = {}
+        data.update(sections)
+        ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
+
+    merge.path = ARTIFACT
+    return merge
 
 # Budget-to-object ratios follow the paper (see common.FAST): scarce on
 # BirthPlaces, plentiful on Heritages.

@@ -20,9 +20,7 @@ crowdsourcing loop amortises it across rounds and algorithms.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -42,7 +40,6 @@ from repro.inference import (
     ZenCrowd,
 )
 
-ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
 N_OBJECTS = 5000
 
 ALGORITHMS = {
@@ -88,7 +85,7 @@ def _time_fit(algorithm, dataset, repeats: int = 3):
 
 
 @pytest.fixture(scope="module")
-def bench_report():
+def bench_report(merge_bench_artifact):
     """Run the head-to-head once per session and write the artifact."""
     dataset = make_birthplaces(size=N_OBJECTS, seed=7)
     t0 = time.perf_counter()
@@ -126,11 +123,13 @@ def bench_report():
             "truths_equal": truths_equal,
             "max_confidence_diff": max_diff,
         }
-    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    # Merge-write: benchmarks/test_columnar_appender.py owns the "appender"
+    # and "crowd_loop" sections of the same artifact.
+    merge_bench_artifact(**report)
     return report
 
 
-def test_columnar_parity_at_scale(bench_report):
+def test_columnar_parity_at_scale(bench_report, merge_bench_artifact):
     """Deterministic half: both engines agree at the 5k-object scale, and the
     artifact is written. Safe for the blocking CI matrix."""
     failures = []
@@ -143,7 +142,7 @@ def test_columnar_parity_at_scale(bench_report):
             )
         if row["iterations"]["reference"] != row["iterations"]["columnar"]:
             failures.append(f"{name}: EM iteration counts diverge")
-    assert ARTIFACT.exists()
+    assert merge_bench_artifact.path.exists()
     assert not failures, "; ".join(failures)
 
 

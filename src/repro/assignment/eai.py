@@ -16,18 +16,167 @@ Assignment (Algorithm 1) walks objects in decreasing order of the upper bound
 
 and stops as soon as no remaining object can beat any worker's current
 worst assigned task — the pruning evaluated in Figure 13.
+
+Like the inference algorithms, the assigner ships two engines behind
+``use_columnar`` (``"auto"`` by default). The reference engine evaluates the
+per-object :class:`~repro.inference._structures.ObjectStructure` likelihood
+matrices — the shape the equations are written in, kept as the parity
+oracle. The columnar engine consumes the TDH EM state directly as flat slot
+arrays (``mu``, ``N_{o,v}``, ``D_o``) plus precomputed worker-likelihood
+case weights over the encoding's candidate x candidate cross-join
+(:attr:`~repro.data.columnar.ColumnarClaims.slot_pairs`), so a whole
+crowdsourcing round never touches a per-object dict. Algorithm 1's control
+flow — heap walk, pruning, eviction cascade, tie-breaks — is shared by both
+engines, and the per-pair arithmetic mirrors the reference operation by
+operation, so the two engines produce *identical* assignments (enforced by
+``tests/test_columnar_parity.py`` and the crowd-loop regression test).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..data.columnar import ColumnarClaims, resolve_engine
 from ..data.model import ObjectId, TruthDiscoveryDataset, WorkerId
 from ..inference.tdh import TDHResult
 from .base import Assignment, TaskAssigner
+
+
+class _ColumnarEaiState:
+    """Flat-array view of everything one ``assign()`` round needs.
+
+    ``mu`` / ``numer`` are ``(n_slots,)`` slices of the TDH EM state,
+    ``denom`` / ``mu_max`` / ``ueai`` are per-object, and ``case2`` /
+    ``case3`` are the worker-likelihood case weights per candidate pair
+    (see :func:`_worker_case_arrays`). Built by
+    :meth:`EAIAssigner._activate_state`; dropped when the result changes.
+    """
+
+    def __init__(
+        self,
+        result: TDHResult,
+        col: ColumnarClaims,
+        mu: np.ndarray,
+        numer: np.ndarray,
+        denom: np.ndarray,
+        case2: np.ndarray,
+        case3: np.ndarray,
+    ) -> None:
+        self.result = result
+        self.col = col
+        self.mu = mu
+        self.numer = numer
+        self.denom = denom
+        self.case2 = case2
+        self.case3 = case3
+        self.offsets = col.value_offsets
+        self.pair_offsets = col.slot_pairs.offsets
+        self.sizes = col.sizes
+        self.index = col.object_index
+        # max_v mu_{o,v} per object; max is order-independent, so reduceat
+        # matches the reference's per-object ``mu.max()`` bit for bit.
+        self.mu_max = (
+            np.maximum.reduceat(mu, col.value_offsets[:-1])
+            if col.n_objects
+            else np.zeros(0)
+        )
+
+    def likelihood(self, oid: int, psi: np.ndarray) -> np.ndarray:
+        """``L[u, v] = P(answer u | truth v, psi)`` as an ``(n, n)`` matrix.
+
+        Mirrors :meth:`ObjectStructure.worker_likelihood_row` arithmetic
+        (``psi1 * case2 + psi2 * case3`` then ``+= psi0`` on the diagonal) so
+        both engines produce bitwise-identical likelihoods.
+        """
+        p0, p1 = self.pair_offsets[oid], self.pair_offsets[oid + 1]
+        n = int(self.sizes[oid])
+        matrix = (psi[1] * self.case2[p0:p1] + psi[2] * self.case3[p0:p1]).reshape(n, n)
+        diag = np.arange(n)
+        matrix[diag, diag] += psi[0]
+        return matrix
+
+    def likelihood_row(self, oid: int, answer_pos: int, psi: np.ndarray) -> np.ndarray:
+        """Row ``u = answer_pos`` of :meth:`likelihood`, in O(|Vo|).
+
+        The flat counterpart of :meth:`ObjectStructure.worker_likelihood_row`
+        — same operations, so the single-row Eq. (18) path stays bitwise
+        equal to the reference without materialising the full matrix.
+        """
+        n = int(self.sizes[oid])
+        start = self.pair_offsets[oid] + answer_pos * n
+        row = psi[1] * self.case2[start : start + n] + psi[2] * self.case3[start : start + n]
+        row[answer_pos] += psi[0]
+        return row
+
+
+def _worker_case_arrays(
+    col: ColumnarClaims,
+    use_hierarchy: bool = True,
+    use_popularity: bool = True,
+    collapse_flat_objects: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Worker-likelihood case weights per candidate pair ``(u, v)``.
+
+    The flat counterpart of :class:`ObjectStructure`'s ``worker_case2`` /
+    ``worker_case3`` matrices (Eq. 3/4 with the ``Pop2``/``Pop3`` popularity
+    terms), evaluated over the encoding's candidate x candidate cross-join
+    instead of per-object dicts — one array pass for the whole dataset. The
+    ablation flags are honoured exactly as in
+    :func:`repro.inference._structures.build_structure`; keep the formulas in
+    lock-step (the EAI parity tests will catch any drift).
+
+    Because the weights depend only on records (candidate sets, ancestor
+    structure, source-claim counts), they survive answer-only mutations —
+    the assigner caches them per ``records_version`` across rounds.
+    """
+    pairs = col.slot_pairs
+    n_pairs = len(pairs.pair_obj)
+    n = col.sizes.astype(np.float64)[pairs.pair_obj]
+    exact = pairs.u_slot == pairs.v_slot
+    exact_f = exact.astype(np.float64)
+
+    if use_hierarchy:
+        hier = col.hierarchy
+        anc = hier.is_ancestor_vid(
+            col.slot_vid[pairs.u_slot], col.slot_vid[pairs.v_slot]
+        )
+        gsize = hier.slot_gsize[pairs.v_slot].astype(np.float64)
+        hflag_obj = (
+            np.ones(col.n_objects, dtype=bool)
+            if not collapse_flat_objects
+            else hier.obj_has_hierarchy
+        )
+    else:
+        anc = np.zeros(n_pairs, dtype=bool)
+        gsize = np.zeros(n_pairs, dtype=np.float64)
+        hflag_obj = np.zeros(col.n_objects, dtype=bool)
+    hflag = hflag_obj[pairs.pair_obj]
+    anc_f = anc.astype(np.float64)
+    case3_f = (~exact & ~anc).astype(np.float64)
+
+    if not use_popularity:
+        # Eq. (1)/(2) shape: uniform over Go(v) / the remaining candidates.
+        src2_h = np.where(gsize > 0, anc_f / np.maximum(gsize, 1.0), 0.0)
+        wrong = n - gsize - 1.0
+        src3_h = np.where(wrong > 0, case3_f / np.maximum(wrong, 1.0), 0.0)
+        src3_flat = np.where(n > 1, case3_f / np.maximum(n - 1.0, 1.0), 0.0)
+        return (
+            np.where(hflag, src2_h, exact_f),
+            np.where(hflag, src3_h, src3_flat),
+        )
+
+    # Eq. (3): Pop2/Pop3 redistribute the case mass by source-claim counts.
+    counts, pop2_slot, pop3_slot = col.popularity_denominators(use_hierarchy)
+    u_counts = counts[pairs.u_slot]
+    pop2 = pop2_slot[pairs.v_slot]
+    pop3 = pop3_slot[pairs.v_slot]
+    wrk2_h = np.where(pop2 > 0, anc_f * u_counts / np.maximum(pop2, 1.0), 0.0)
+    worker_case2 = np.where(hflag, wrk2_h, exact_f)
+    worker_case3 = np.where(pop3 > 0, case3_f * u_counts / np.maximum(pop3, 1.0), 0.0)
+    return worker_case2, worker_case3
 
 
 class EAIAssigner(TaskAssigner):
@@ -41,6 +190,13 @@ class EAIAssigner(TaskAssigner):
         by the Figure 13 experiment; the resulting assignment is identical.
     default_psi:
         Trustworthiness prior for workers that have not answered yet.
+    use_columnar:
+        Engine selector (``True`` / ``False`` / ``"auto"``, plus the CLI's
+        ``"columnar"`` / ``"reference"``); see
+        :func:`repro.data.columnar.resolve_engine`. The columnar engine
+        evaluates the quality measure over flat slot arrays; the reference
+        engine walks the per-object ``ObjectStructure`` matrices. Both
+        produce identical assignments.
     """
 
     name = "EAI"
@@ -49,10 +205,93 @@ class EAIAssigner(TaskAssigner):
         self,
         use_pruning: bool = True,
         default_psi: Tuple[float, float, float] = (0.6, 0.2, 0.2),
+        use_columnar: Union[bool, str] = "auto",
     ) -> None:
         self.use_pruning = use_pruning
         self.default_psi = np.asarray(default_psi, dtype=float)
+        self.use_columnar = use_columnar
         self.eai_evaluations = 0  # instrumentation for the Fig 13 bench
+        self._state: Optional[_ColumnarEaiState] = None
+        # (slot_pairs identity, records_version, ablation flags) -> case
+        # arrays; the strong slot_pairs reference keeps the id stable.
+        self._case_cache: Optional[Tuple[tuple, object, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # columnar state
+    # ------------------------------------------------------------------
+    def _activate_state(
+        self, dataset: TruthDiscoveryDataset, result: TDHResult
+    ) -> Optional[_ColumnarEaiState]:
+        """Build (or refuse) the flat-array state for this round.
+
+        Returns ``None`` — meaning the reference path runs — when the engine
+        resolves to the dict loops, or when the result's layout no longer
+        matches the dataset's current encoding (e.g. records were added
+        between ``fit`` and ``assign``). While a state is active, the public
+        quality-measure methods dispatch to the vectorized path for *this*
+        result; any other result falls back to the reference path.
+        """
+        self._state = None
+        if not resolve_engine(self.use_columnar, dataset):
+            return None
+        if getattr(result, "dataset", None) is not dataset:
+            # Mutation counters only order mutations of one dataset object;
+            # across clones they can coincide while the claims diverge, so a
+            # foreign result always takes the reference path.
+            return None
+        if getattr(dataset, "_records_version", 0) != getattr(
+            result, "records_version", None
+        ):
+            # Records landed between fit and assign: the Pop2/Pop3 weights
+            # (and possibly the slot layout) no longer describe the result's
+            # world. The reference path keeps the fit-time StructureCache,
+            # so it remains the consistent engine here. (Checked before
+            # touching dataset.columnar() so refusal never builds arrays.)
+            return None
+        col = dataset.columnar()
+
+        flat = getattr(result, "columnar_state", None)
+        if flat is not None and flat[0].version == getattr(dataset, "_version", 0):
+            # Hot path: the result came from the columnar TDH fit on this
+            # very dataset state — its flat EM arrays are already aligned.
+            col, mu, numer, denom = flat
+        else:
+            # Reference-fit result (or layout drift): rebuild the flat view
+            # from the dicts, refusing when the slot layout moved underneath.
+            conf = result.confidences
+            if list(conf) != col.objects:
+                return None
+            if any(
+                len(conf[obj]) != int(size)
+                for obj, size in zip(col.objects, col.sizes)
+            ):
+                return None
+            mu = np.concatenate([conf[obj] for obj in col.objects])
+            numer = np.concatenate([result.numerators[obj] for obj in col.objects])
+            denom = np.asarray(
+                [result.denominators[obj] for obj in col.objects], dtype=np.float64
+            )
+
+        cache = result.structures
+        flags = (
+            getattr(cache, "use_hierarchy", True),
+            getattr(cache, "use_popularity", True),
+            getattr(cache, "collapse_flat_objects", True),
+        )
+        pairs = col.slot_pairs
+        key = (id(pairs), col.records_version, flags)
+        if self._case_cache is not None and self._case_cache[0] == key:
+            case2, case3 = self._case_cache[2], self._case_cache[3]
+        else:
+            case2, case3 = _worker_case_arrays(col, *flags)
+            self._case_cache = (key, pairs, case2, case3)
+
+        self._state = _ColumnarEaiState(result, col, mu, numer, denom, case2, case3)
+        return self._state
+
+    def _state_for(self, result: TDHResult) -> Optional[_ColumnarEaiState]:
+        state = self._state
+        return state if state is not None and state.result is result else None
 
     # ------------------------------------------------------------------
     # quality measure
@@ -61,6 +300,16 @@ class EAIAssigner(TaskAssigner):
         self, result: TDHResult, obj: ObjectId, worker_psi: np.ndarray, answer_pos: int
     ) -> np.ndarray:
         """``mu_{o, . | v_w = v'}`` by one incremental EM step (Eq. 18)."""
+        state = self._state_for(result)
+        if state is not None:
+            oid = state.index[obj]
+            start, end = state.offsets[oid], state.offsets[oid + 1]
+            mu = state.mu[start:end]
+            likelihood = state.likelihood_row(oid, answer_pos, worker_psi)
+            joint = likelihood * mu
+            z = joint.sum()
+            f = joint / z if z > 0 else mu
+            return (state.numer[start:end] + f) / (state.denom[oid] + 1.0)
         structure = result.structures.get(obj)
         mu = result.confidences[obj]
         likelihood = structure.worker_likelihood_row(answer_pos, worker_psi)
@@ -74,6 +323,14 @@ class EAIAssigner(TaskAssigner):
         self, result: TDHResult, obj: ObjectId, worker_psi: np.ndarray
     ) -> np.ndarray:
         """``P(v_w = v' | psi_w, mu_o)`` for every candidate ``v'`` (Eq. 6)."""
+        state = self._state_for(result)
+        if state is not None:
+            oid = state.index[obj]
+            start, end = state.offsets[oid], state.offsets[oid + 1]
+            mu = state.mu[start:end]
+            dist = state.likelihood(oid, worker_psi) @ mu
+            total = dist.sum()
+            return dist / total if total > 0 else np.full(len(mu), 1.0 / len(mu))
         structure = result.structures.get(obj)
         mu = result.confidences[obj]
         likelihood = structure.worker_likelihood(worker_psi)  # rows = answers
@@ -91,6 +348,9 @@ class EAIAssigner(TaskAssigner):
         """``EAI(w, o)`` per Eq. (14)-(15)."""
         self.eai_evaluations += 1
         n_objects = n_objects if n_objects is not None else len(result.confidences)
+        state = self._state_for(result)
+        if state is not None:
+            return self._eai_columnar(state, state.index[obj], worker_psi, n_objects)
         mu = result.confidences[obj]
         current_best = float(mu.max())
         answer_probs = self.answer_distribution(result, obj, worker_psi)
@@ -101,6 +361,48 @@ class EAIAssigner(TaskAssigner):
             conditional = self.conditional_confidence(result, obj, worker_psi, answer_pos)
             expected_best += float(p_answer) * float(conditional.max())
         return (expected_best - current_best) / n_objects
+
+    def _eai_columnar(
+        self,
+        state: _ColumnarEaiState,
+        oid: int,
+        worker_psi: np.ndarray,
+        n_objects: int,
+    ) -> float:
+        """``EAI(w, o)`` with every per-answer conditional evaluated at once.
+
+        The likelihood matrix, the answer distribution and all ``|Vo|``
+        conditional confidences are slot-array operations; the only Python
+        loop left is the final scalar expectation, which accumulates in the
+        reference engine's exact order (and skip rule) so both engines agree
+        bit for bit.
+        """
+        start, end = state.offsets[oid], state.offsets[oid + 1]
+        mu = state.mu[start:end]
+        likelihood = state.likelihood(oid, worker_psi)  # rows = answers u
+        dist = likelihood @ mu
+        total = dist.sum()
+        if total > 0:
+            dist = dist / total
+        else:
+            dist = np.full(len(mu), 1.0 / len(mu))
+        joint = likelihood * mu  # broadcast over rows: joint[u, v]
+        z = joint.sum(axis=1)
+        z_pos = z > 0
+        posterior = np.where(
+            z_pos[:, None], joint / np.where(z_pos, z, 1.0)[:, None], mu[None, :]
+        )
+        conditional = (state.numer[start:end][None, :] + posterior) / (
+            state.denom[oid] + 1.0
+        )
+        best = conditional.max(axis=1)
+        expected_best = 0.0
+        for answer_pos in range(len(mu)):
+            p_answer = dist[answer_pos]
+            if p_answer <= 0:
+                continue
+            expected_best += float(p_answer) * float(best[answer_pos])
+        return (expected_best - float(state.mu_max[oid])) / n_objects
 
     @staticmethod
     def ueai(result: TDHResult, obj: ObjectId, n_objects: Optional[int] = None) -> float:
@@ -127,6 +429,22 @@ class EAIAssigner(TaskAssigner):
         if not workers or k <= 0 or n_objects == 0:
             return {w: [] for w in workers}
 
+        # Engine selection: a non-None state routes every quality-measure
+        # call below (and any later eai() on the same result, e.g. the
+        # simulator's improvement estimate) through the flat slot arrays.
+        state = self._activate_state(dataset, result)
+        if state is not None:
+            # Lemma 4.1 upper bounds for all objects in one vectorized pass.
+            ueai_all = (1.0 - state.mu_max) / (n_objects * (state.denom + 1.0))
+
+            def ueai_of(obj: ObjectId) -> float:
+                return float(ueai_all[state.index[obj]])
+
+        else:
+
+            def ueai_of(obj: ObjectId) -> float:
+                return self.ueai(result, obj, n_objects)
+
         psi_by_worker = {w: result.worker_psi(w, self.default_psi) for w in workers}
         # Workers in decreasing order of psi_{w,1} (line 3 of Algorithm 1).
         ordered_workers = sorted(
@@ -139,8 +457,7 @@ class EAIAssigner(TaskAssigner):
         # Max-heap of UEAI over objects (line 1-2); heapq is a min-heap so we
         # negate. Tie-break on insertion order for determinism.
         ub_heap: List[Tuple[float, int, ObjectId]] = [
-            (-self.ueai(result, obj, n_objects), i, obj)
-            for i, obj in enumerate(objects)
+            (-ueai_of(obj), i, obj) for i, obj in enumerate(objects)
         ]
         heapq.heapify(ub_heap)
 
@@ -189,7 +506,7 @@ class EAIAssigner(TaskAssigner):
                     _, _, displaced = heapq.heapreplace(heap, (value, seq, pending))
                     pending = displaced  # reassign the evicted object (line 17)
                     pending_eai = None
-                    upper = self.ueai(result, pending, n_objects)
+                    upper = ueai_of(pending)
                 # else: try the next worker with the same object
 
         return {

@@ -8,6 +8,15 @@ and folds them into the dataset. This is the loop behind Figures 6-11 and
 
 The round-0 entry of the history is the no-crowdsourcing operating point, as
 in the paper's plots.
+
+When the model/assigner run their columnar engines, the whole loop stays on
+**one live encoding**: the simulator's private dataset copy carries the
+input's cached encoding forward (``dataset.copy()``), the answers collected
+each round are spliced in by the incremental appender
+(:class:`~repro.data.columnar.ColumnarAppender`, transparently via
+``dataset.columnar()``), and the EAI assigner reuses the columnar TDH EM
+state plus per-``records_version`` likelihood tables across rounds — no
+per-round O(claims) rebuild anywhere.
 """
 
 from __future__ import annotations
@@ -100,6 +109,10 @@ class CrowdSimulator:
         self.model = model
         self.assigner = assigner
         self.workers = list(workers)
+        #: Per-round assignments, appended by :meth:`run` — the regression
+        #: surface for engine-parity tests (columnar vs reference runs must
+        #: produce identical sequences).
+        self.assignment_log: List[Assignment] = []
         self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._structure_cache = (
             model.make_structure_cache(self.dataset)
@@ -190,6 +203,7 @@ class CrowdSimulator:
                 self.dataset, result, worker_ids, tasks_per_worker
             )
             assignment_seconds = time.perf_counter() - t0
+            self.assignment_log.append(assignment)
             estimated = self._estimate_improvement(result, assignment)
             collected = self._collect(assignment)
 

@@ -37,14 +37,24 @@ algorithms share — per-object normalize / argmax / log-softmax via
 The encoding is built once and cached on the dataset
 (:meth:`TruthDiscoveryDataset.columnar`). Every encoding is stamped with the
 dataset's mutation :attr:`version`; ``add_record`` / ``add_answer`` bump the
-version, so a later ``dataset.columnar()`` call transparently rebuilds, and a
-*held* stale encoding can be detected with :meth:`ColumnarClaims.assert_fresh`
-(raises :class:`StaleEncodingError`).
+version, so a later ``dataset.columnar()`` call transparently catches up, and
+a *held* stale encoding can be detected with
+:meth:`ColumnarClaims.assert_fresh` (raises :class:`StaleEncodingError`).
+
+Catching up is **incremental** whenever possible: the dataset keeps an append
+log of mutations, and :class:`ColumnarAppender` diffs a held encoding's
+version against the dataset's, then splices only the delta — new claim rows,
+new candidate slots, new claimant/value table entries — into fresh arrays
+that share every unchanged buffer with the predecessor encoding. A
+crowdsourcing round therefore costs O(delta) NumPy splices instead of the
+O(claims) Python rebuild; see :meth:`ColumnarAppender.refresh` for the exact
+fallback rules (in-place claim overwrites force a cold rebuild).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Union
+import weakref
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -145,6 +155,37 @@ class PairExpansion:
         self.n_totals = len(totals)
 
 
+class SlotPairExpansion:
+    """The candidate x candidate cross-join: every object's full ``|Vo|^2``.
+
+    Row-major per object — pair ``p`` of object ``o`` with ``n = |Vo|``
+    candidates is ``(u, v) = (p // n, p % n)`` relative to the object's slot
+    run, matching the ``(rows = claimed value u, columns = truth v)``
+    convention of :class:`~repro.inference._structures.ObjectStructure`. This
+    is what lets the EAI assigner evaluate a whole likelihood matrix as one
+    ``offsets[oid]:offsets[oid+1]`` slice reshaped to ``(n, n)``, with no
+    per-object Python structure building.
+    """
+
+    def __init__(self, col: "ColumnarClaims") -> None:
+        squares = col.sizes * col.sizes
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(squares))
+        ).astype(np.int64)
+        total = int(self.offsets[-1])
+        self.pair_obj = np.repeat(
+            np.arange(col.n_objects, dtype=np.int64), squares
+        )
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            self.offsets[:-1], squares
+        )
+        n_of = col.sizes[self.pair_obj]
+        starts = col.value_offsets[self.pair_obj]
+        #: Global slot of the claimed value ``u`` / hypothesised truth ``v``.
+        self.u_slot = starts + within // n_of
+        self.v_slot = starts + within % n_of
+
+
 class ColumnarClaims:
     """Flat integer-array view of a :class:`TruthDiscoveryDataset`.
 
@@ -181,6 +222,10 @@ class ColumnarClaims:
             obj: i for i, obj in enumerate(self.objects)
         }
         self.version = getattr(dataset, "_version", 0)
+        #: Bumped by ``add_record`` only: answers never change the slot layout,
+        #: so state keyed by records_version (e.g. the EAI likelihood pair
+        #: arrays) survives whole crowdsourcing rounds.
+        self.records_version = getattr(dataset, "_records_version", 0)
 
         claimant_index: Dict[ClaimantKey, int] = {}
         claimants: List[ClaimantKey] = []
@@ -202,6 +247,11 @@ class ColumnarClaims:
         slot_anc_slots: List[int] = []
         obj_has_hierarchy: List[bool] = []
 
+        # Ids are handed out at first encounter, so the first-occurrence
+        # positions the appender's renumbering check needs are free here.
+        claimant_first: List[int] = []
+        value_first: List[int] = []
+
         for oid, obj in enumerate(self.objects):
             ctx = dataset.context(obj)
             start = value_offsets[-1]
@@ -210,6 +260,7 @@ class ColumnarClaims:
                 if vid is None:
                     vid = value_index[value] = len(values)
                     values.append(value)
+                    value_first.append(len(slot_vid))
                 slot_vid.append(vid)
                 slot_anc_slots.extend(start + j for j in ctx.ancestor_sets[i])
                 slot_anc_offsets.append(len(slot_anc_slots))
@@ -224,6 +275,7 @@ class ColumnarClaims:
                     cid = claimant_index[source] = len(claimants)
                     claimants.append(source)
                     claimant_is_worker.append(False)
+                    claimant_first.append(len(claim_obj))
                 claim_obj.append(oid)
                 claim_claimant.append(cid)
                 claim_pos.append(ctx.index[value])
@@ -235,6 +287,7 @@ class ColumnarClaims:
                     cid = claimant_index[key] = len(claimants)
                     claimants.append(key)
                     claimant_is_worker.append(True)
+                    claimant_first.append(len(claim_obj))
                 claim_obj.append(oid)
                 claim_claimant.append(cid)
                 claim_pos.append(ctx.index[value])
@@ -267,7 +320,18 @@ class ColumnarClaims:
         self._obj_has_hierarchy = np.asarray(obj_has_hierarchy, dtype=bool)
         self._tree = dataset.hierarchy
         self._pairs: Optional[PairExpansion] = None
+        self._slot_pairs: Optional[SlotPairExpansion] = None
         self._hierarchy: Optional["ColumnarHierarchy"] = None
+        # Appender bookkeeping: first-occurrence row per claimant / first slot
+        # per value (maintained across appends so id renumbering stays
+        # O(delta + tables)); a reusable Euler tour.
+        self._claimant_first = np.asarray(claimant_first, dtype=np.int64)
+        self._value_first = np.asarray(value_first, dtype=np.int64)
+        self._tour_hint: Optional[Tuple[Dict, Dict, int]] = None
+        # Version counters only order one dataset's history; this token ties
+        # the snapshot to the dataset (lineage) that produced it — see
+        # TruthDiscoveryDataset._owns_encoding.
+        self._lineage_token = getattr(dataset, "_lineage", None)
 
     # ------------------------------------------------------------------
     # shape accessors
@@ -296,10 +360,22 @@ class ColumnarClaims:
         return self._pairs
 
     @property
+    def slot_pairs(self) -> "SlotPairExpansion":
+        """The candidate x candidate expansion, built on first use and cached."""
+        if self._slot_pairs is None:
+            self._slot_pairs = SlotPairExpansion(self)
+        return self._slot_pairs
+
+    @property
     def hierarchy(self) -> "ColumnarHierarchy":
-        """The integer-encoded hierarchy view, built on first use and cached."""
+        """The integer-encoded hierarchy view, built on first use and cached.
+
+        When this encoding was produced by :class:`ColumnarAppender`, the
+        predecessor's Euler tour is reused (``_tour_hint``) so only the value
+        tables are extended — the tree is not re-toured.
+        """
         if self._hierarchy is None:
-            self._hierarchy = ColumnarHierarchy(self, self._tree)
+            self._hierarchy = ColumnarHierarchy(self, self._tree, tour=self._tour_hint)
         return self._hierarchy
 
     def assert_fresh(self, dataset: "TruthDiscoveryDataset") -> None:
@@ -386,6 +462,33 @@ class ColumnarClaims:
         """Claims per claimant -> ``(n_claimants,)`` ints."""
         return np.bincount(self.claim_claimant, minlength=self.n_claimants)
 
+    def popularity_denominators(
+        self, use_hierarchy: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-slot source-claim counts and Eq. (3) popularity denominators.
+
+        Returns ``(counts, pop2, pop3)``: source claims per candidate slot,
+        the claim mass over each slot's candidate ancestors ``Go(v)``, and
+        the mass over the remaining candidates. Shared by TDH's columnar
+        E-step and the columnar EAI likelihood tables so the ``Pop2``/
+        ``Pop3`` weighting has exactly one implementation.
+        ``use_hierarchy=False`` (the ablation) zeroes the ancestor mass
+        without building the hierarchy view.
+        """
+        counts = self.record_counts()
+        if use_hierarchy:
+            hier = self.hierarchy
+            anc_owner = np.repeat(
+                np.arange(self.n_slots, dtype=np.int64), hier.slot_gsize
+            )
+            pop2 = np.bincount(
+                anc_owner, weights=counts[hier.slot_anc_slots], minlength=self.n_slots
+            )
+        else:
+            pop2 = np.zeros(self.n_slots, dtype=np.float64)
+        pop3 = self.segment_sum(counts)[self.slot_obj] - counts - pop2
+        return counts, pop2, pop3
+
     def initial_confidences_flat(self) -> np.ndarray:
         """Vote-proportion EM initialisation, flat counterpart of
         :func:`repro.inference.base.initial_confidences`."""
@@ -441,24 +544,38 @@ class ColumnarHierarchy:
     into three array comparisons.
     """
 
-    def __init__(self, col: ColumnarClaims, tree) -> None:
+    def __init__(
+        self,
+        col: ColumnarClaims,
+        tree,
+        tour: Optional[Tuple[Dict, Dict, int]] = None,
+    ) -> None:
         self.n_values = len(col.values)
 
         # --- Euler tour over the tree (iterative DFS, child order as built).
-        tin: Dict[Hashable, int] = {}
-        tout: Dict[Hashable, int] = {}
-        clock = 0
-        stack: List[tuple] = [(tree.root, False)]
-        while stack:
-            node, done = stack.pop()
-            if done:
-                tout[node] = clock
-                continue
-            clock += 1
-            tin[node] = clock
-            stack.append((node, True))
-            for child in reversed(tree.children(node)):
-                stack.append((child, False))
+        # A predecessor encoding's tour (``(tin, tout, n_tree_nodes)``) is
+        # reused when the tree has not grown since — hierarchies are
+        # append-only, so equal node counts imply identical trees — which is
+        # what lets ColumnarAppender extend the value-id tables without
+        # re-touring on every crowdsourcing round.
+        if tour is not None and tour[2] == len(tree):
+            tin, tout = tour[0], tour[1]
+        else:
+            tin = {}
+            tout = {}
+            clock = 0
+            stack: List[tuple] = [(tree.root, False)]
+            while stack:
+                node, done = stack.pop()
+                if done:
+                    tout[node] = clock
+                    continue
+                clock += 1
+                tin[node] = clock
+                stack.append((node, True))
+                for child in reversed(tree.children(node)):
+                    stack.append((child, False))
+        self._tour: Tuple[Dict, Dict, int] = (tin, tout, len(tree))
 
         self.depth = np.asarray(
             [tree.depth(value) for value in col.values], dtype=np.int64
@@ -552,3 +669,435 @@ class ColumnarHierarchy:
             f" anc_pairs={len(self.anc_vids)},"
             f" slot_anc_pairs={len(self.slot_anc_slots)})"
         )
+
+
+class ColumnarAppender:
+    """Catches a held :class:`ColumnarClaims` up with its mutated dataset.
+
+    The dataset records every ``add_record`` / ``add_answer`` in an append
+    log once an encoding exists (see
+    :meth:`TruthDiscoveryDataset._ops_since`). ``refresh()`` diffs the held
+    encoding's :attr:`~ColumnarClaims.version` against the dataset's and
+    replays only the logged delta via :meth:`extend` — new claim rows are
+    spliced into the CSR claim table, new candidate slots into the slot
+    arrays of the touched objects, and the claimant/value decode tables are
+    extended (renumbered to cold-rebuild first-encounter order only when an
+    insert actually reorders them). The result is **array-equal to a cold
+    rebuild** (the property suite in ``tests/test_columnar_appender.py``
+    enforces this, hierarchy CSR and Euler intervals included) at O(delta)
+    plus a few NumPy memcopies, instead of the O(claims) Python walk.
+
+    Encodings are immutable snapshots: ``extend`` returns a *new*
+    ``ColumnarClaims`` sharing every unchanged buffer with its predecessor,
+    so encodings carried across ``dataset.copy()`` clones can never be
+    corrupted by one side appending.
+
+    Fallback rules — ``refresh()`` performs a cold rebuild when the delta is
+    not an append (an in-place overwrite of an existing claim), or when the
+    held encoding predates the dataset's log window. It raises
+    :class:`StaleEncodingError` when the appender has outlived its dataset
+    (the dataset is only weakly referenced, so e.g. a discarded clone does
+    not keep its claim dicts alive through a forgotten appender), or when
+    the held encoding is *ahead* of the dataset — the signature of an
+    encoding handed to the wrong dataset clone.
+    """
+
+    def __init__(
+        self, dataset: "TruthDiscoveryDataset", claims: Optional[ColumnarClaims] = None
+    ) -> None:
+        self._dataset_ref = weakref.ref(dataset)
+        self.claims = claims if claims is not None else dataset.columnar()
+
+    @property
+    def dataset(self) -> "TruthDiscoveryDataset":
+        dataset = self._dataset_ref()
+        if dataset is None:
+            raise StaleEncodingError(
+                "this ColumnarAppender outlived its dataset; appenders hold"
+                " their dataset weakly — re-create one from a live dataset"
+            )
+        return dataset
+
+    def refresh(self) -> ColumnarClaims:
+        """The held encoding, caught up to the dataset's current version."""
+        dataset = self.dataset
+        claims = self.claims
+        target = getattr(dataset, "_version", 0)
+        if not dataset._owns_encoding(claims):
+            # Version counters coincide across sibling clones whose claims
+            # diverged, so the lineage token — not the counter — is the
+            # cross-clone guard.
+            raise StaleEncodingError(
+                f"held encoding (version {claims.version}) is not a snapshot"
+                f" of this dataset's history (version {target}); it belongs"
+                " to a different (cloned) dataset"
+            )
+        if claims.version == target:
+            return claims
+        ops = dataset._ops_since(claims.version)
+        if ops is None:
+            # Unservable window (overwrite, or trimmed past us): take the
+            # dataset's own cache, which is either already current or
+            # rebuilds once for every holder.
+            claims = dataset.columnar()
+        else:
+            claims = self.extend(claims, dataset, ops)
+        self.claims = claims
+        return claims
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _restamped(
+        col: ColumnarClaims, dataset: "TruthDiscoveryDataset"
+    ) -> ColumnarClaims:
+        """A same-content snapshot at the dataset's current version (the
+        delta contained only no-op overwrites)."""
+        new = ColumnarClaims.__new__(ColumnarClaims)
+        new.__dict__.update(col.__dict__)
+        new.version = getattr(dataset, "_version", 0)
+        new.records_version = getattr(dataset, "_records_version", 0)
+        new._lineage_token = getattr(dataset, "_lineage", None)
+        return new
+
+    @staticmethod
+    def extend(
+        col: ColumnarClaims,
+        dataset: "TruthDiscoveryDataset",
+        ops: Sequence[Tuple],
+    ) -> ColumnarClaims:
+        """Splice appendable ``ops`` into ``col``: a new encoding at the
+        dataset's current version, array-equal to ``ColumnarClaims(dataset)``.
+
+        ``ops`` are ``("record", obj, source, value)`` /
+        ``("answer", obj, worker, value)`` tuples in mutation order, each a
+        genuine append (overwrites never reach here — the dataset poisons its
+        log instead, forcing the cold-rebuild fallback).
+        """
+        if not ops:
+            return ColumnarAppender._restamped(col, dataset)
+
+        n_obj_old = col.n_objects
+        n_claims_old = col.n_claims
+        n_slots_old = col.n_slots
+
+        # ---- bucket the delta per object, assigning new object ids in
+        # first-record order (== dict insertion order == cold-rebuild order).
+        new_objects: List = []
+        added_obj_index: Dict = {}
+        record_ops: Dict[int, List[Tuple]] = {}
+        answer_ops: Dict[int, List[Tuple]] = {}
+        for kind, obj, claimant, value in ops:
+            oid = col.object_index.get(obj)
+            if oid is None:
+                oid = added_obj_index.get(obj)
+            if oid is None:
+                # Only records introduce objects: add_answer validates the
+                # value against candidates(obj), which requires records.
+                if kind != "record":
+                    raise ValueError(
+                        f"append log references object {obj!r} before any record"
+                    )
+                oid = n_obj_old + len(new_objects)
+                added_obj_index[obj] = oid
+                new_objects.append(obj)
+            bucket = record_ops if kind == "record" else answer_ops
+            bucket.setdefault(oid, []).append((claimant, value))
+
+        n_obj_new = n_obj_old + len(new_objects)
+        if new_objects:
+            objects = col.objects + new_objects
+            object_index = dict(col.object_index)
+            object_index.update(added_obj_index)
+        else:
+            objects = col.objects
+            object_index = col.object_index
+
+        # ---- provisional ids for unseen claimants (renumbered below).
+        added_claimants: List[ClaimantKey] = []
+        added_claimant_worker: List[bool] = []
+        added_claimant_index: Dict[ClaimantKey, int] = {}
+
+        def claimant_id(key: ClaimantKey, is_worker: bool) -> int:
+            cid = col.claimant_index.get(key)
+            if cid is None:
+                cid = added_claimant_index.get(key)
+            if cid is None:
+                cid = col.n_claimants + len(added_claimants)
+                added_claimant_index[key] = cid
+                added_claimants.append(key)
+                added_claimant_worker.append(is_worker)
+            return cid
+
+        # ---- which touched objects grew their candidate set (records only;
+        # answers select among existing candidates by construction).
+        touched = sorted(set(record_ops) | set(answer_ops))
+        contexts = {oid: dataset.context(objects[oid]) for oid in touched}
+        slot_changed: List[int] = []
+        added_slot_values: Dict[int, List] = {}
+        for oid in sorted(record_ops):
+            ctx = contexts[oid]
+            old_size = int(col.sizes[oid]) if oid < n_obj_old else 0
+            if ctx.size > old_size:
+                slot_changed.append(oid)
+                # Candidates are append-only per object, so the delta is
+                # exactly the tail of the rebuilt context's Vo order.
+                added_slot_values[oid] = list(ctx.values[old_size:])
+
+        # ---- claim-row insertion spec. Walking objects in ascending id
+        # order with records-before-answers makes the positions sorted by
+        # construction: new records land at the record/answer boundary of
+        # their object's block, new answers at its end, new objects' rows
+        # after everything.
+        rec_counts = np.bincount(
+            col.claim_obj[~col.claim_is_answer], minlength=n_obj_old
+        )
+        ins_pos: List[int] = []
+        ins_obj: List[int] = []
+        ins_cid: List[int] = []
+        ins_ppos: List[int] = []
+        ins_ans: List[bool] = []
+        for oid in touched:
+            ctx = contexts[oid]
+            if oid < n_obj_old:
+                rpos = int(col.claim_offsets[oid] + rec_counts[oid])
+                apos = int(col.claim_offsets[oid + 1])
+            else:
+                rpos = apos = n_claims_old
+            for source, value in record_ops.get(oid, ()):
+                ins_pos.append(rpos)
+                ins_obj.append(oid)
+                ins_cid.append(claimant_id(source, False))
+                ins_ppos.append(ctx.index[value])
+                ins_ans.append(False)
+            for worker, value in answer_ops.get(oid, ()):
+                ins_pos.append(apos)
+                ins_obj.append(oid)
+                ins_cid.append(claimant_id(("worker", worker), True))
+                ins_ppos.append(ctx.index[value])
+                ins_ans.append(True)
+
+        k = len(ins_pos)
+        ins_pos_arr = np.asarray(ins_pos, dtype=np.int64)
+        final_ins = ins_pos_arr + np.arange(k, dtype=np.int64)
+        n_claims_new = n_claims_old + k
+        keep = np.ones(n_claims_new, dtype=bool)
+        keep[final_ins] = False
+
+        def splice_claims(old: np.ndarray, inserted: List, dtype) -> np.ndarray:
+            out = np.empty(n_claims_new, dtype=dtype)
+            out[keep] = old
+            out[final_ins] = inserted
+            return out
+
+        claim_obj = splice_claims(col.claim_obj, ins_obj, np.int64)
+        claim_claimant = splice_claims(col.claim_claimant, ins_cid, np.int64)
+        claim_pos = splice_claims(col.claim_pos, ins_ppos, np.int64)
+        claim_is_answer = splice_claims(col.claim_is_answer, ins_ans, bool)
+        claim_offsets = np.concatenate(
+            ([0], np.cumsum(np.bincount(claim_obj, minlength=n_obj_new)))
+        ).astype(np.int64)
+
+        # ---- claimant table: keep cold-rebuild first-encounter order. A new
+        # row can pull its claimant's first occurrence ahead of claimants
+        # first seen later, so ids are re-ranked by first occurrence — the
+        # relabel gather only runs when an insert actually reorders them.
+        first = np.concatenate(
+            [
+                col._claimant_first
+                + np.searchsorted(ins_pos_arr, col._claimant_first, side="right"),
+                np.full(len(added_claimants), n_claims_new, dtype=np.int64),
+            ]
+        )
+        np.minimum.at(first, np.asarray(ins_cid, dtype=np.int64), final_ins)
+        claimants = col.claimants + added_claimants
+        claimant_is_worker = (
+            np.concatenate(
+                [col.claimant_is_worker, np.asarray(added_claimant_worker, dtype=bool)]
+            )
+            if added_claimants
+            else col.claimant_is_worker
+        )
+        if bool(np.all(np.diff(first) > 0)):
+            if added_claimants:
+                claimant_index = dict(col.claimant_index)
+                claimant_index.update(added_claimant_index)
+            else:
+                claimants = col.claimants
+                claimant_index = col.claimant_index
+        else:
+            order = np.argsort(first, kind="stable")
+            remap = np.empty(len(order), dtype=np.int64)
+            remap[order] = np.arange(len(order), dtype=np.int64)
+            claim_claimant = remap[claim_claimant]
+            claimants = [claimants[i] for i in order]
+            claimant_is_worker = claimant_is_worker[order]
+            claimant_index = {key: i for i, key in enumerate(claimants)}
+            first = first[order]
+
+        # ---- slot arrays: untouched when the delta is answers-only (the
+        # crowdsourcing hot path); otherwise splice the new candidate slots
+        # and rebuild the touched objects' hierarchy CSR blocks.
+        if slot_changed:
+            added_values: List = []
+            added_value_index: Dict = {}
+
+            def value_id(value) -> int:
+                vid = col.value_index.get(value)
+                if vid is None:
+                    vid = added_value_index.get(value)
+                if vid is None:
+                    vid = len(col.values) + len(added_values)
+                    added_value_index[value] = vid
+                    added_values.append(value)
+                return vid
+
+            slot_pos: List[int] = []
+            slot_vid_ins: List[int] = []
+            for oid in slot_changed:
+                pos = (
+                    int(col.value_offsets[oid + 1])
+                    if oid < n_obj_old
+                    else n_slots_old
+                )
+                for value in added_slot_values[oid]:
+                    slot_pos.append(pos)
+                    slot_vid_ins.append(value_id(value))
+            sk = len(slot_pos)
+            slot_pos_arr = np.asarray(slot_pos, dtype=np.int64)
+            slot_final = slot_pos_arr + np.arange(sk, dtype=np.int64)
+            n_slots_new = n_slots_old + sk
+            skeep = np.ones(n_slots_new, dtype=bool)
+            skeep[slot_final] = False
+            slot_vid = np.empty(n_slots_new, dtype=np.int64)
+            slot_vid[skeep] = col.slot_vid
+            slot_vid[slot_final] = slot_vid_ins
+
+            sizes = np.concatenate(
+                [col.sizes, np.zeros(len(new_objects), dtype=np.int64)]
+            )
+            for oid, added in added_slot_values.items():
+                sizes[oid] += len(added)
+            value_offsets = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+            slot_obj = np.repeat(np.arange(n_obj_new, dtype=np.int64), sizes)
+
+            # Value ids re-ranked by first encounter, like claimants above.
+            vfirst = np.concatenate(
+                [
+                    col._value_first
+                    + np.searchsorted(slot_pos_arr, col._value_first, side="right"),
+                    np.full(len(added_values), n_slots_new, dtype=np.int64),
+                ]
+            )
+            np.minimum.at(vfirst, np.asarray(slot_vid_ins, dtype=np.int64), slot_final)
+            values = col.values + added_values
+            if bool(np.all(np.diff(vfirst) > 0)):
+                if added_values:
+                    value_index = dict(col.value_index)
+                    value_index.update(added_value_index)
+                else:
+                    values = col.values
+                    value_index = col.value_index
+            else:
+                vorder = np.argsort(vfirst, kind="stable")
+                vremap = np.empty(len(vorder), dtype=np.int64)
+                vremap[vorder] = np.arange(len(vorder), dtype=np.int64)
+                slot_vid = vremap[slot_vid]
+                values = [values[i] for i in vorder]
+                value_index = {value: i for i, value in enumerate(values)}
+                vfirst = vfirst[vorder]
+
+            # Slot-level ancestor CSR: keep untouched objects' blocks (slot
+            # ids shifted by their object's new start), rebuild touched ones
+            # from the fresh contexts — a new candidate can be an ancestor or
+            # descendant of existing ones, so the whole block is redone.
+            delta_start = value_offsets[:n_obj_old] - col.value_offsets[:-1]
+            entry_owner_slot = np.repeat(
+                np.arange(n_slots_old, dtype=np.int64),
+                np.diff(col._slot_anc_offsets),
+            )
+            entry_owner_obj = col.slot_obj[entry_owner_slot]
+            keep_entries = ~np.isin(
+                entry_owner_obj, np.asarray(slot_changed, dtype=np.int64)
+            )
+            kept_shift = delta_start[entry_owner_obj[keep_entries]]
+            kept_owner = entry_owner_slot[keep_entries] + kept_shift
+            kept_vals = col._slot_anc_slots[keep_entries] + kept_shift
+            fresh_owner: List[int] = []
+            fresh_vals: List[int] = []
+            obj_has_hierarchy = np.concatenate(
+                [col._obj_has_hierarchy, np.zeros(len(new_objects), dtype=bool)]
+            )
+            for oid in slot_changed:
+                ctx = contexts[oid]
+                start = int(value_offsets[oid])
+                for i, ancestors in enumerate(ctx.ancestor_sets):
+                    for j in ancestors:
+                        fresh_owner.append(start + i)
+                        fresh_vals.append(start + j)
+                obj_has_hierarchy[oid] = ctx.has_hierarchy
+            owner = np.concatenate(
+                [kept_owner, np.asarray(fresh_owner, dtype=np.int64)]
+            )
+            anc_vals = np.concatenate(
+                [kept_vals, np.asarray(fresh_vals, dtype=np.int64)]
+            )
+            entry_order = np.argsort(owner, kind="stable")
+            slot_anc_slots = anc_vals[entry_order]
+            slot_anc_offsets = np.concatenate(
+                ([0], np.cumsum(np.bincount(owner, minlength=n_slots_new)))
+            ).astype(np.int64)
+            slot_pairs = None
+            hierarchy = None  # value ids / slots moved: rebuild lazily ...
+            tour_hint = (  # ... but hand the old Euler tour forward.
+                col._hierarchy._tour if col._hierarchy is not None else col._tour_hint
+            )
+        else:
+            slot_vid = col.slot_vid
+            sizes = col.sizes
+            value_offsets = col.value_offsets
+            slot_obj = col.slot_obj
+            values = col.values
+            value_index = col.value_index
+            vfirst = col._value_first
+            slot_anc_offsets = col._slot_anc_offsets
+            slot_anc_slots = col._slot_anc_slots
+            obj_has_hierarchy = col._obj_has_hierarchy
+            slot_pairs = col._slot_pairs
+            hierarchy = col._hierarchy
+            tour_hint = (
+                hierarchy._tour if hierarchy is not None else col._tour_hint
+            )
+
+        new = ColumnarClaims.__new__(ColumnarClaims)
+        new.objects = objects
+        new.object_index = object_index
+        new.version = getattr(dataset, "_version", 0)
+        new.records_version = getattr(dataset, "_records_version", 0)
+        new.claimants = claimants
+        new.claimant_index = claimant_index
+        new.values = values
+        new.value_index = value_index
+        new.value_offsets = value_offsets
+        new.claim_offsets = claim_offsets
+        new.slot_vid = slot_vid
+        new.claim_obj = claim_obj
+        new.claim_claimant = claim_claimant
+        new.claim_pos = claim_pos
+        new.claim_is_answer = claim_is_answer
+        new.claimant_is_worker = claimant_is_worker
+        new.sizes = sizes
+        new.slot_obj = slot_obj
+        new.claim_slot = value_offsets[claim_obj] + claim_pos
+        new.claim_vid = slot_vid[new.claim_slot]
+        new._slot_anc_offsets = slot_anc_offsets
+        new._slot_anc_slots = slot_anc_slots
+        new._obj_has_hierarchy = obj_has_hierarchy
+        new._tree = col._tree
+        new._pairs = None  # claims changed: the cross-join is rebuilt lazily
+        new._slot_pairs = slot_pairs
+        new._hierarchy = hierarchy
+        new._claimant_first = first
+        new._value_first = vfirst
+        new._tour_hint = tour_hint
+        new._lineage_token = getattr(dataset, "_lineage", None)
+        return new

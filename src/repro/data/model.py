@@ -117,6 +117,22 @@ class TruthDiscoveryDataset:
         self._contexts: Dict[ObjectId, ObjectContext] = {}
         self._columnar = None  # lazily built ColumnarClaims, see columnar()
         self._version = 0  # mutation counter stamped onto every encoding
+        self._records_version = 0  # bumped by add_record only (slot layout)
+        # Lineage identity: version counters only order THIS dataset's
+        # history — sibling clones advance their own counters, so equal
+        # numbers do not mean equal claims. Encodings are stamped with this
+        # token; `_owns_encoding` is the cross-clone guard.
+        self._lineage: object = object()
+        self._carried: Optional[tuple] = None  # (token, version) from copy()
+        # Append log for incremental encoding catch-up (ColumnarAppender).
+        # ``None`` until the first encoding exists — before that there is
+        # nothing to catch up, so bulk ingestion costs no log memory. Entry
+        # i covers dataset version ``_oplog_base + i + 1``. Non-appendable
+        # mutations (in-place claim overwrites) are not logged: they clear
+        # the log and advance ``_oplog_base``, so windows reaching across
+        # them are detected by the base check in ``_ops_since``.
+        self._oplog: Optional[List[tuple]] = None
+        self._oplog_base = 0
 
         for record in records:
             self.add_record(record)
@@ -126,15 +142,29 @@ class TruthDiscoveryDataset:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    #: Log-size cap: beyond this the oldest entries are dropped (encodings
+    #: that fall behind the remaining window cold-rebuild instead).
+    MAX_OPLOG = 65536
+
     def add_record(self, record: Record) -> None:
         """Add (or overwrite) a source claim."""
         self._check_value(record.value)
         claims = self._records_by_object.setdefault(record.object, {})
         if record.source not in claims:
             self._objects_by_source.setdefault(record.source, []).append(record.object)
+            op = ("record", record.object, record.source, record.value)
+        elif claims[record.source] == record.value:
+            op = ("noop",)  # identical overwrite: the encoding is unchanged
+        else:
+            op = None  # in-place overwrite: not expressible as an append
         claims[record.source] = record.value
-        self._contexts.pop(record.object, None)
-        self._invalidate_columnar()
+        if op is None or op[0] == "record":
+            # Identical re-adds leave counts and slot layout untouched; not
+            # bumping records_version keeps per-records state (contexts, EAI
+            # likelihood tables) cached through them.
+            self._contexts.pop(record.object, None)
+            self._records_version += 1
+        self._bump_version(op)
 
     def add_answer(self, answer: Answer) -> None:
         """Add (or overwrite) a worker answer.
@@ -152,18 +182,72 @@ class TruthDiscoveryDataset:
         claims = self._answers_by_object.setdefault(answer.object, {})
         if answer.worker not in claims:
             self._objects_by_worker.setdefault(answer.worker, []).append(answer.object)
+            op = ("answer", answer.object, answer.worker, answer.value)
+        elif claims[answer.worker] == answer.value:
+            op = ("noop",)
+        else:
+            op = None
         claims[answer.worker] = answer.value
-        self._invalidate_columnar()
+        self._bump_version(op)
 
-    def _invalidate_columnar(self) -> None:
-        """Bump the mutation counter and free the cached encoding eagerly.
+    def _bump_version(self, op: Optional[tuple]) -> None:
+        """Bump the mutation counter and log the op for incremental catch-up.
 
-        The version bump is what detects stale *held* encodings; dropping the
-        reference as well keeps a mutate-heavy dataset from pinning the old
-        arrays (and their PairExpansion) until the next ``columnar()`` call.
+        The version bump is what detects stale *held* encodings. The cached
+        encoding object is deliberately **kept**: it is an immutable snapshot
+        that :class:`~repro.data.columnar.ColumnarAppender` extends by the
+        logged delta on the next :meth:`columnar` call, so crowdsourcing
+        rounds amortise to O(new answers) instead of O(claims) rebuilds.
         """
         self._version += 1
-        self._columnar = None
+        if self._oplog is None:
+            return  # no encoding yet -> nothing to catch up, keep ingestion free
+        if op is None:
+            # In-place overwrite: no encoding can be extended across this
+            # point, so free the cached snapshot eagerly (a mutate-heavy
+            # overwrite loop must not pin the old arrays) and restart the
+            # log window here.
+            self._columnar = None
+            self._oplog.clear()
+            self._oplog_base = self._version
+            return
+        self._oplog.append(op)
+        if len(self._oplog) > self.MAX_OPLOG:
+            drop = len(self._oplog) - self.MAX_OPLOG
+            del self._oplog[:drop]
+            self._oplog_base += drop
+            if self._columnar is not None and self._columnar.version < self._oplog_base:
+                self._columnar = None  # can no longer catch up incrementally
+
+    def _ops_since(self, version: int) -> Optional[List[tuple]]:
+        """Appendable mutations covering ``(version, self._version]``.
+
+        Returns ``None`` when the window is not servable — logging had not
+        started by ``version``, or the window start was trimmed away (log
+        cap, or a non-appendable overwrite resetting the log) — in which
+        case callers must re-fetch a full encoding. No-op entries are
+        filtered out of the returned list.
+        """
+        if self._oplog is None or version < self._oplog_base:
+            return None
+        ops = self._oplog[version - self._oplog_base:]
+        return [op for op in ops if op[0] != "noop"]
+
+    def _owns_encoding(self, col) -> bool:
+        """Whether ``col`` is a snapshot of *this* dataset's history.
+
+        True for encodings this dataset built (or extended), and for the
+        carried-forward snapshot lineage of :meth:`copy` up to the version
+        at which the copy was taken — beyond that the histories may have
+        diverged even though the version counters keep coinciding.
+        """
+        token = getattr(col, "_lineage_token", None)
+        if token is self._lineage:
+            return True
+        if self._carried is not None:
+            carried_token, carried_version = self._carried
+            return token is carried_token and col.version <= carried_version
+        return False
 
     def _check_value(self, value: Value) -> None:
         if value == self.hierarchy.root:
@@ -278,17 +362,33 @@ class TruthDiscoveryDataset:
 
         Built on first use. Every encoding is stamped with the dataset's
         mutation counter; :meth:`add_record` / :meth:`add_answer` bump it, so
-        an access after a mutation transparently rebuilds instead of serving
-        stale arrays. Callers that hold the returned object across possible
-        mutations can detect staleness with
+        an access after a mutation transparently catches up — *incrementally*
+        when the mutations were appends (new claims, candidates, objects; see
+        :class:`~repro.data.columnar.ColumnarAppender`), via a cold rebuild
+        otherwise (in-place overwrites). Callers that hold the returned
+        object across possible mutations can detect staleness with
         :meth:`~repro.data.columnar.ColumnarClaims.assert_fresh` (raises
         :class:`~repro.data.columnar.StaleEncodingError`).
         """
-        from .columnar import ColumnarClaims
+        from .columnar import ColumnarAppender, ColumnarClaims
 
-        if self._columnar is None or self._columnar.version != self._version:
-            self._columnar = ColumnarClaims(self)
-        return self._columnar
+        cached = self._columnar
+        if cached is not None and cached.version != self._version:
+            ops = self._ops_since(cached.version)
+            cached = (
+                ColumnarAppender.extend(cached, self, ops) if ops is not None else None
+            )
+        if cached is None:
+            cached = ColumnarClaims(self)
+        self._columnar = cached
+        # The encoding is current: start/curtail the append log here. Held
+        # external appenders older than this point fall back to a rebuild.
+        if self._oplog:
+            del self._oplog[: self._version - self._oplog_base]
+        elif self._oplog is None:
+            self._oplog = []
+        self._oplog_base = self._version
+        return cached
 
     @property
     def hierarchical_objects(self) -> List[ObjectId]:
@@ -299,10 +399,20 @@ class TruthDiscoveryDataset:
     # utilities
     # ------------------------------------------------------------------
     def copy(self, include_answers: bool = True) -> "TruthDiscoveryDataset":
-        """Deep-enough copy sharing the (immutable-in-practice) hierarchy."""
+        """Deep-enough copy sharing the (immutable-in-practice) hierarchy.
+
+        Per-object contexts are carried over (they depend on records only,
+        which are copied verbatim, and are never mutated once built). A fresh
+        cached columnar encoding is carried too when the copy is
+        claim-identical (``include_answers=True``): encodings are immutable
+        snapshots, so sharing is safe — each side's later mutations extend
+        its *own* cache pointer, never the shared arrays — and the clone
+        starts a crowdsourcing run without paying a rebuild.
+        """
         clone = TruthDiscoveryDataset(self.hierarchy, (), (), gold=self.gold, name=self.name)
         clone._records_by_object = {o: dict(c) for o, c in self._records_by_object.items()}
         clone._objects_by_source = {s: list(v) for s, v in self._objects_by_source.items()}
+        clone._contexts = dict(self._contexts)
         if include_answers:
             clone._answers_by_object = {
                 o: dict(c) for o, c in self._answers_by_object.items()
@@ -310,6 +420,16 @@ class TruthDiscoveryDataset:
             clone._objects_by_worker = {
                 w: list(v) for w, v in self._objects_by_worker.items()
             }
+            if self._columnar is not None and self._columnar.version == self._version:
+                clone._columnar = self._columnar
+                clone._version = self._version
+                clone._records_version = self._records_version
+                clone._oplog = []  # encoding exists: log appends from here on
+                clone._oplog_base = clone._version
+                # Accept the carried snapshot's lineage up to this version
+                # (the carried encoding may itself have been carried, so
+                # record its own token, not ours).
+                clone._carried = (self._columnar._lineage_token, self._version)
         return clone
 
     def scaled(self, factor: int) -> "TruthDiscoveryDataset":

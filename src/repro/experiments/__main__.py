@@ -29,9 +29,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "reference", "columnar"],
         default="auto",
         help=(
-            "truth-inference execution engine for experiments that support it"
-            " (fig12, fig13): the per-object dict loops (reference), the"
-            " vectorized claim-table fast paths (columnar), or size-based"
+            "execution engine for experiments that support it (fig12, fig13"
+            " and the crowd-loop figures fig5-fig10/fig14-16): the per-object"
+            " dict loops (reference), the vectorized claim-table fast paths"
+            " incl. columnar EAI assignment (columnar), or size-based"
             " selection (auto, default)"
         ),
     )

@@ -122,9 +122,15 @@ def inference_factories(
     }
 
 
-def assigner_factories() -> Dict[str, Callable[[], TaskAssigner]]:
+def assigner_factories(engine: str = "auto") -> Dict[str, Callable[[], TaskAssigner]]:
+    """The Table-4 assignment policies.
+
+    ``engine`` threads the execution-engine choice into EAI (the only
+    assigner with a columnar fast path — it consumes TDH's EM state); the
+    other policies have no engine switch.
+    """
     return {
-        "EAI": lambda: EAIAssigner(),
+        "EAI": lambda: EAIAssigner(use_columnar=engine),
         "QASCA": lambda: QascaAssigner(seed=0),
         "ME": lambda: MaxEntropyAssigner(),
         "MB": lambda: MbAssigner(),
@@ -158,9 +164,14 @@ HEADLINE_COMBOS: Sequence[Sequence[str]] = (
 def make_combo(
     inference: str, assigner: str, s: ExperimentScale, engine: str = "auto"
 ) -> tuple[TruthInferenceAlgorithm, TaskAssigner]:
-    """Instantiate an inference+assignment pair by name."""
+    """Instantiate an inference+assignment pair by name.
+
+    ``engine`` selects the execution engine for both sides of the combo
+    (inference fast paths and EAI's columnar quality measure), so a whole
+    crowdsourcing run stays on one encoding.
+    """
     model = inference_factories(s, engine=engine)[inference]()
-    task_assigner = assigner_factories()[assigner]()
+    task_assigner = assigner_factories(engine)[assigner]()
     return model, task_assigner
 
 

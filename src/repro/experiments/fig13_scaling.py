@@ -5,10 +5,10 @@ EAI assignment runs with and without the Lemma-4.1 upper-bound pruning. The
 assignments must be identical; the pruned variant should evaluate far fewer
 EAI scores and run faster as the scale grows.
 
-The ``engine`` switch selects the execution path both for the TDH fit that
-feeds EAI and for one separately timed representative truth-inference pass
-(CRH), so the same experiment shows how the columnar claim engine bends the
-inference-time curve as the object count grows.
+The ``engine`` switch selects the execution path for the TDH fit that feeds
+EAI, for both timed EAI assigners, and for one separately timed
+representative truth-inference pass (CRH), so the same experiment shows how
+the columnar claim engine bends both curves as the object count grows.
 """
 
 from __future__ import annotations
@@ -47,12 +47,12 @@ def run(
             crh.fit(scaled)
             crh_time = time.perf_counter() - t0
 
-            pruned = EAIAssigner(use_pruning=True)
+            pruned = EAIAssigner(use_pruning=True, use_columnar=engine)
             t0 = time.perf_counter()
             assignment_pruned = pruned.assign(scaled, result, worker_ids, s.tasks_per_worker)
             pruned_time = time.perf_counter() - t0
 
-            unpruned = EAIAssigner(use_pruning=False)
+            unpruned = EAIAssigner(use_pruning=False, use_columnar=engine)
             t0 = time.perf_counter()
             assignment_full = unpruned.assign(scaled, result, worker_ids, s.tasks_per_worker)
             full_time = time.perf_counter() - t0

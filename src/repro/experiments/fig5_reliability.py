@@ -16,11 +16,13 @@ from ..inference import Asums, TDHModel
 from .common import format_table, load_birthplaces, scale
 
 
-def run(full: bool = False) -> List[dict]:
+def run(full: bool = False, engine: str = "auto") -> List[dict]:
     s = scale(full)
     dataset = load_birthplaces(s)
-    tdh = TDHModel(max_iter=s.em_iterations, tol=s.em_tol).fit(dataset)
-    asums_result = Asums(max_iter=s.em_iterations).fit(dataset)
+    tdh = TDHModel(
+        max_iter=s.em_iterations, tol=s.em_tol, use_columnar=engine
+    ).fit(dataset)
+    asums_result = Asums(max_iter=s.em_iterations, use_columnar=engine).fit(dataset)
     trust = asums_result.trust  # type: ignore[attr-defined]
 
     rows = []
@@ -42,8 +44,8 @@ def run(full: bool = False) -> List[dict]:
     return rows
 
 
-def main(full: bool = False) -> None:
-    rows = run(full)
+def main(full: bool = False, engine: str = "auto") -> None:
+    rows = run(full, engine=engine)
     print(
         format_table(
             rows,

@@ -76,6 +76,18 @@ class TDHResult(InferenceResult):
         self.numerators = numerators
         self.denominators = denominators
         self.structures = structures
+        #: The dataset's record-mutation counter at fit time. The columnar
+        #: EAI assigner refuses to build its likelihood tables when this no
+        #: longer matches the dataset (records added between fit and assign
+        #: would silently change the Pop2/Pop3 popularity weights).
+        self.records_version = getattr(dataset, "_records_version", 0)
+        #: Set by the columnar engine: ``(encoding, mu, numerators,
+        #: denominators)`` as flat slot/object arrays, which the columnar EAI
+        #: assigner consumes directly (the dict views above alias ``mu`` and
+        #: ``numerators``, so the two representations cannot diverge).
+        self.columnar_state: Optional[
+            Tuple[ColumnarClaims, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
     def source_trustworthiness(self, source: SourceId) -> Tuple[float, float, float]:
         """``(phi_exact, phi_generalized, phi_wrong)`` for ``source``."""
@@ -235,19 +247,7 @@ class TDHModel(TruthInferenceAlgorithm):
 
         # Eq. (3): Pop2/Pop3 redistribute the worker case mass by how often
         # sources claimed each value.
-        counts = col.record_counts()
-        if self.use_hierarchy:
-            anc_owner = np.repeat(
-                np.arange(col.n_slots, dtype=np.int64), hier.slot_gsize
-            )
-            pop2_slot = np.bincount(
-                anc_owner, weights=counts[hier.slot_anc_slots], minlength=col.n_slots
-            )
-        else:
-            pop2_slot = np.zeros(col.n_slots, dtype=np.float64)
-        total_obj = col.segment_sum(counts)
-        pop3_slot = total_obj[col.slot_obj] - counts - pop2_slot
-
+        counts, pop2_slot, pop3_slot = col.popularity_denominators(self.use_hierarchy)
         u_counts = counts[col.claim_slot[pairs.pair_claim]]
         pop2 = pop2_slot[pairs.pair_slot]
         pop3 = pop3_slot[pairs.pair_slot]
@@ -367,7 +367,7 @@ class TDHModel(TruthInferenceAlgorithm):
             else:
                 phi[key] = trust[cid].copy()
 
-        return TDHResult(
+        result = TDHResult(
             dataset=dataset,
             confidences=col.to_confidences(mu),
             phi=phi,
@@ -380,6 +380,8 @@ class TDHModel(TruthInferenceAlgorithm):
             iterations=iterations,
             converged=converged,
         )
+        result.columnar_state = (col, mu, numer_flat, denom_obj)
+        return result
 
     # ------------------------------------------------------------------
     # reference engine

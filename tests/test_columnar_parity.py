@@ -201,6 +201,188 @@ def test_claimant_state_parity(dataset):
             assert columnar[claimant] == pytest.approx(value, abs=1e-8), attr
 
 
+# ---------------------------------------------------------------------------
+# EAI assignment: the columnar quality measure vs the ObjectStructure path
+# ---------------------------------------------------------------------------
+def _fit_tdh(dataset, engine):
+    from repro.inference import TDHModel as _TDH
+
+    return _TDH(max_iter=10, tol=1e-5, use_columnar=engine).fit(dataset)
+
+
+def test_eai_assignment_parity(dataset):
+    """Both EAI engines produce identical assignments, identical pruning
+    behaviour (evaluation counts) and 1e-8-close quality values, whichever
+    engine produced the TDH result they consume."""
+    from repro.assignment import EAIAssigner
+    from repro.crowd.workers import make_worker_pool
+
+    workers = [w.worker_id for w in make_worker_pool(6, seed=2)]
+    for fit_engine in (False, True):
+        result = _fit_tdh(dataset, fit_engine)
+        reference = EAIAssigner(use_columnar=False)
+        columnar = EAIAssigner(use_columnar=True)
+        assert reference.assign(dataset, result, workers, 5) == columnar.assign(
+            dataset, result, workers, 5
+        )
+        assert reference.eai_evaluations == columnar.eai_evaluations
+        psi = result.worker_psi(workers[0], reference.default_psi)
+        columnar._activate_state(dataset, result)
+        for obj in dataset.objects[:40]:
+            assert columnar.eai(result, obj, psi) == pytest.approx(
+                reference.eai(result, obj, psi), abs=1e-8
+            )
+            for answer_pos in range(len(result.confidences[obj])):
+                np.testing.assert_allclose(
+                    columnar.conditional_confidence(result, obj, psi, answer_pos),
+                    reference.conditional_confidence(result, obj, psi, answer_pos),
+                    atol=1e-8,
+                    rtol=0,
+                )
+            np.testing.assert_allclose(
+                columnar.answer_distribution(result, obj, psi),
+                reference.answer_distribution(result, obj, psi),
+                atol=1e-8,
+                rtol=0,
+            )
+
+
+def test_eai_parity_on_exact_score_ties():
+    """Structurally identical objects have exactly tied EAI scores; both
+    engines must break the tie the same way (insertion order), keeping the
+    assignment sequences identical."""
+    from repro.assignment import EAIAssigner
+    from repro.data.model import Record, TruthDiscoveryDataset
+    from repro.hierarchy.tree import Hierarchy
+
+    tree = Hierarchy()
+    tree.add_path(["USA", "NY", "NYC"])
+    tree.add_path(["USA", "LA"])
+    records = []
+    for i in range(6):  # six clones of the same conflict
+        records += [
+            Record(f"o{i}", "s1", "NYC"),
+            Record(f"o{i}", "s2", "NY"),
+            Record(f"o{i}", "s3", "LA"),
+        ]
+    dataset = TruthDiscoveryDataset(tree, records)
+    result = _fit_tdh(dataset, True)
+    reference = EAIAssigner(use_columnar=False)
+    columnar = EAIAssigner(use_columnar=True)
+    a_ref = reference.assign(dataset, result, ["w0", "w1"], 2)
+    a_col = columnar.assign(dataset, result, ["w0", "w1"], 2)
+    assert a_ref == a_col
+    # the scores really are exact ties across the cloned objects
+    columnar._activate_state(dataset, result)
+    psi = result.worker_psi("w0", columnar.default_psi)
+    scores = {obj: columnar.eai(result, obj, psi) for obj in dataset.objects}
+    assert len(set(scores.values())) == 1
+
+
+def test_eai_parity_zero_answer_objects_and_unseen_workers(dataset):
+    """Datasets without a single worker answer exercise the default-psi path
+    (psi falls back to the prior mean) in both engines."""
+    from repro.assignment import EAIAssigner
+    from repro.data.model import TruthDiscoveryDataset
+
+    records_only = TruthDiscoveryDataset(
+        dataset.hierarchy, dataset.iter_records(), name="records-only"
+    )
+    result = _fit_tdh(records_only, True)
+    assert not result.psi  # no workers anywhere in the claim table
+    a_ref = EAIAssigner(use_columnar=False).assign(
+        records_only, result, ["fresh_w0", "fresh_w1"], 4
+    )
+    a_col = EAIAssigner(use_columnar=True).assign(
+        records_only, result, ["fresh_w0", "fresh_w1"], 4
+    )
+    assert a_ref == a_col
+    assert all(len(tasks) == 4 for tasks in a_col.values())
+
+
+def test_eai_parity_heap_capacity_edges(dataset):
+    """k = 0, k >= |O|, single worker, and a worker who answered everything:
+    the heap bookkeeping edge cases agree across engines."""
+    from repro.assignment import EAIAssigner
+    from repro.data.model import Answer
+
+    result = _fit_tdh(dataset, True)
+    reference = EAIAssigner(use_columnar=False)
+    columnar = EAIAssigner(use_columnar=True)
+    n = len(dataset.objects)
+    for workers, k in ([["w0"], 0], [["w0"], n + 5], [["w0", "w1"], n], [["w0"], 1]):
+        assert reference.assign(dataset, result, workers, k) == columnar.assign(
+            dataset, result, workers, k
+        )
+    # a worker with every object answered gets nothing, on both engines
+    saturated = dataset.copy()
+    for obj in saturated.objects:
+        saturated.add_answer(Answer(obj, "done_w", saturated.candidates(obj)[0]))
+    result2 = _fit_tdh(saturated, True)
+    a_ref = EAIAssigner(use_columnar=False).assign(saturated, result2, ["done_w"], 3)
+    a_col = EAIAssigner(use_columnar=True).assign(saturated, result2, ["done_w"], 3)
+    assert a_ref == a_col == {"done_w": []}
+
+
+def test_eai_refuses_stale_layout(dataset):
+    """Records added between fit and assign change the slot layout; the
+    columnar engine must detect the drift and fall back to the reference
+    path rather than consume misaligned arrays."""
+    from repro.assignment import EAIAssigner
+    from repro.data.model import Record
+
+    working = dataset.copy()
+    result = _fit_tdh(working, True)
+    working.add_record(Record("fresh_object", "s_new", working.hierarchy.children(working.hierarchy.root)[0]))
+    columnar = EAIAssigner(use_columnar=True)
+    assert columnar._activate_state(working, result) is None
+    reference = EAIAssigner(use_columnar=False)
+    workers = ["w0", "w1"]
+    assert columnar.assign(working, result, workers, 3) == reference.assign(
+        working, result, workers, 3
+    )
+
+
+def test_eai_refuses_stale_popularity_counts(dataset):
+    """A record whose value is an *existing* candidate changes neither the
+    object list nor any candidate-set size — but it changes the Pop2/Pop3
+    popularity counts, so the columnar engine must still refuse (the
+    records_version stamp catches it) and agree with the reference path."""
+    from repro.assignment import EAIAssigner
+    from repro.data.model import Record
+
+    working = dataset.copy()
+    for fit_engine in (False, True):
+        result = _fit_tdh(working, fit_engine)
+        obj = working.objects[0]
+        working.add_record(
+            Record(obj, f"latecomer_src_{fit_engine}", working.candidates(obj)[0])
+        )
+        assert len(working.candidates(obj)) == len(result.confidences[obj])
+        columnar = EAIAssigner(use_columnar=True)
+        assert columnar._activate_state(working, result) is None
+        assert columnar.assign(working, result, ["w0", "w1"], 3) == EAIAssigner(
+            use_columnar=False
+        ).assign(working, result, ["w0", "w1"], 3)
+
+
+def test_eai_refuses_foreign_clone_results(dataset):
+    """Mutation counters only order one dataset object's history — sibling
+    clones can diverge while their counters coincide — so a result fit on a
+    different dataset object always takes the reference path (and still
+    agrees with it)."""
+    from repro.assignment import EAIAssigner
+
+    original = dataset.copy()
+    sibling = original.copy()
+    result = _fit_tdh(original, True)
+    columnar = EAIAssigner(use_columnar=True)
+    assert columnar._activate_state(sibling, result) is None
+    assert columnar.assign(sibling, result, ["w0"], 3) == EAIAssigner(
+        use_columnar=False
+    ).assign(sibling, result, ["w0"], 3)
+
+
 def test_engine_resolution(table1_dataset):
     small = table1_dataset  # far below the auto threshold
     assert resolve_engine(True, small) is True
