@@ -16,7 +16,11 @@ each round are spliced in by the incremental appender
 (:class:`~repro.data.columnar.ColumnarAppender`, transparently via
 ``dataset.columnar()``), and the EAI assigner reuses the columnar TDH EM
 state plus per-``records_version`` likelihood tables across rounds — no
-per-round O(claims) rebuild anywhere.
+per-round O(claims) rebuild anywhere. A model built with ``n_jobs > 1``
+(see :mod:`repro.data.sharding`) additionally fans each round's E/M steps
+out over object-range shards; the simulator needs no knob of its own —
+the sharded fits are bitwise-identical, so the assignment log and metric
+series are unchanged at any worker count.
 """
 
 from __future__ import annotations

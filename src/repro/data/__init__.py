@@ -15,6 +15,13 @@ from .model import (
     Record,
     TruthDiscoveryDataset,
 )
+from .sharding import (
+    ColumnarShard,
+    ColumnarShards,
+    ParallelExecutor,
+    parallel_plan,
+    resolve_jobs,
+)
 
 __all__ = [
     "Record",
@@ -28,4 +35,9 @@ __all__ = [
     "StaleEncodingError",
     "resolve_engine",
     "AUTO_MIN_CLAIMS",
+    "ColumnarShard",
+    "ColumnarShards",
+    "ParallelExecutor",
+    "parallel_plan",
+    "resolve_jobs",
 ]

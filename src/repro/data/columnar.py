@@ -126,7 +126,21 @@ class PairExpansion:
     ``cell_index`` / ``total_index`` give each row a dense id for its
     Dawid-Skene confusion cell ``(claimant, truth value, claimed value)`` and
     marginal ``(claimant, truth value)``; both are iteration-invariant, so the
-    (relatively expensive) ``np.unique`` runs once per encoding.
+    (relatively expensive) ``np.unique`` runs once per encoding — and on
+    append-only mutations not even that: :meth:`spliced` carries a built
+    expansion across a :class:`ColumnarAppender` extension by splicing only
+    the appended claims' pair rows.
+
+    Cell ids are **append-stable**, not sorted: ``cells[i]`` is the key of
+    the cell that was *i-th to be factorized*, and the keys themselves use
+    each claimant's :attr:`claimant_stable` id (the id it had when first
+    factorized), so neither a claimant renumbering nor a later append ever
+    moves an existing id. Consumers only require the ids to be dense and
+    consistent — ``np.bincount`` groups and within-group accumulation order
+    are relabeling-invariant, so EM results are bitwise-identical whichever
+    of the cold or spliced id assignments is live. (On a cold build the
+    stable ids coincide with the claimant ids and the table happens to be
+    key-sorted — ``np.unique`` order.)
     """
 
     def __init__(self, col: "ColumnarClaims") -> None:
@@ -149,10 +163,158 @@ class PairExpansion:
         claimed_vid = col.claim_vid[self.pair_claim].astype(np.int64)
         total_key = claimant * n_values + truth_vid
         cell_key = total_key * n_values + claimed_vid
-        cells, self.cell_index = np.unique(cell_key, return_inverse=True)
-        totals, self.total_index = np.unique(total_key, return_inverse=True)
-        self.n_cells = len(cells)
-        self.n_totals = len(totals)
+        self.cells, self.cell_index = np.unique(cell_key, return_inverse=True)
+        self.totals, self.total_index = np.unique(total_key, return_inverse=True)
+        self.n_cells = len(self.cells)
+        self.n_totals = len(self.totals)
+
+        #: Current claimant id -> the id its keys were first factorized
+        #: under; identity here, composed across renumberings by `spliced`.
+        self.claimant_stable = np.arange(col.n_claimants, dtype=np.int64)
+        self.n_stable = col.n_claimants
+        # Sorted (keys, ids) views for O(log) key resolution in `spliced`;
+        # a cold table is already key-sorted, so these share its arrays.
+        self._cell_lookup = (self.cells, np.arange(self.n_cells, dtype=np.intp))
+        self._total_lookup = (self.totals, np.arange(self.n_totals, dtype=np.intp))
+
+    @classmethod
+    def spliced(
+        cls,
+        old: "PairExpansion",
+        col: "ColumnarClaims",
+        inserted_claims: np.ndarray,
+        claimant_remap: Optional[np.ndarray] = None,
+    ) -> "PairExpansion":
+        """An expansion for ``col``, equivalent to ``PairExpansion(col)`` —
+        identical pair layout, identical cell partition up to the id
+        relabeling described in the class docstring — built by splicing
+        ``old`` instead of re-factorizing every pair.
+
+        ``old`` must be the expansion of the predecessor encoding and
+        ``inserted_claims`` the (sorted) claim rows of ``col`` that did not
+        exist in it. The caller (:meth:`ColumnarAppender.extend`) guarantees
+        the preconditions: the slot layout and value ids are unchanged, so
+        every *old* pair row — slots, claimed flags, confusion cell ids —
+        is still valid verbatim and is relocated with O(delta) *slice*
+        copies; only the appended claims' pair rows are computed, resolved
+        against the sorted key lookup, with genuinely new cells appended at
+        the end of the table. No O(pairs) gather or sort anywhere.
+
+        ``claimant_remap`` covers the one id move an append *can* cause: an
+        insert pulling a claimant's first occurrence ahead re-ranks the
+        claimant table (routine in crowd rounds — a known worker answering
+        an earlier object). Keys are built from :attr:`claimant_stable`
+        ids, which this method composes with the renumbering — so a re-rank
+        costs O(claimants) and touches no key, no table and no pair.
+        """
+        new = cls.__new__(cls)
+        sizes_per_claim = col.sizes[col.claim_obj]
+        offsets = np.concatenate(([0], np.cumsum(sizes_per_claim))).astype(np.int64)
+        n_old = len(old.pair_claim)
+        ins_sizes = sizes_per_claim[inserted_claims]
+
+        # The appended claims form O(delta) contiguous pair runs, so every
+        # old array is relocated as one ``np.concatenate`` over alternating
+        # old-segment views and inserted chunks (memcpy speed, one C call
+        # per array) — per-element fancy scatters over the whole pair table
+        # would cost more than the np.unique this method exists to avoid.
+        cum = np.cumsum(ins_sizes)
+        seg = np.concatenate(
+            ([0], offsets[inserted_claims] - cum + ins_sizes, [n_old])
+        ).tolist()
+        ib = np.concatenate(([0], cum)).tolist()
+        slices = []
+        for k in range(len(inserted_claims)):
+            slices.append((seg[k], seg[k + 1], False))
+            slices.append((ib[k], ib[k + 1], True))
+        slices.append((seg[-2], seg[-1], False))
+
+        def cat(old_arr: np.ndarray, ins_vals: np.ndarray) -> np.ndarray:
+            return np.concatenate(
+                [(ins_vals if is_ins else old_arr)[a:b] for a, b, is_ins in slices]
+            )
+
+        # Inserted rows' values, all derivable without the spliced arrays.
+        ins_claim_of_row = np.repeat(inserted_claims, ins_sizes)
+        ins_slot = csr_expand(col.value_offsets[col.claim_obj[inserted_claims]], ins_sizes)
+        ins_size_vals = np.repeat(ins_sizes.astype(np.float64), ins_sizes)
+        ins_claimed = ins_slot == col.claim_slot[ins_claim_of_row]
+
+        # --- stable claimant ids: extend with the appended claimants, then
+        # compose the renumbering (stable[new id] = stable the claimant
+        # already had) so every existing key — hence every existing cell id
+        # — survives the re-rank untouched.
+        n_added = col.n_claimants - len(old.claimant_stable)
+        if n_added:
+            provisional = np.concatenate(
+                [
+                    old.claimant_stable,
+                    old.n_stable + np.arange(n_added, dtype=np.int64),
+                ]
+            )
+        else:
+            provisional = old.claimant_stable
+        if claimant_remap is not None:
+            stable = np.empty_like(provisional)
+            stable[claimant_remap] = provisional
+        else:
+            stable = provisional
+        new.claimant_stable = stable
+        new.n_stable = old.n_stable + n_added
+
+        # Confusion keys for the appended pairs only, under stable ids.
+        n_values = max(len(col.values), 1)
+        total_key_ins = (
+            stable[col.claim_claimant[ins_claim_of_row]] * n_values
+            + col.slot_vid[ins_slot]
+        )
+        cell_key_ins = total_key_ins * n_values + col.claim_vid[ins_claim_of_row]
+
+        def resolve(lookup, table: np.ndarray, keys: np.ndarray):
+            """Appended keys -> ids (existing, or appended to the table);
+            O(delta log cells + cells), no per-pair work at all."""
+            sorted_keys, sorted_ids = lookup
+            uniq, inv = np.unique(keys, return_inverse=True)
+            if len(sorted_keys):
+                at = np.searchsorted(sorted_keys, uniq)
+                hit = at < len(sorted_keys)
+                hit[hit] = sorted_keys[at[hit]] == uniq[hit]
+            else:
+                at = np.zeros(len(uniq), dtype=np.intp)
+                hit = np.zeros(len(uniq), dtype=bool)
+            fresh = uniq[~hit]
+            ids_of_uniq = np.empty(len(uniq), dtype=np.intp)
+            ids_of_uniq[hit] = sorted_ids[at[hit]]
+            ids_of_uniq[~hit] = len(table) + np.arange(len(fresh), dtype=np.intp)
+            if len(fresh):
+                pos = np.searchsorted(sorted_keys, fresh)
+                lookup = (
+                    np.insert(sorted_keys, pos, fresh),
+                    np.insert(sorted_ids, pos, ids_of_uniq[~hit]),
+                )
+                table = np.concatenate([table, fresh])
+            return table, ids_of_uniq[inv], lookup
+
+        new.cells, cell_ins_ids, new._cell_lookup = resolve(
+            old._cell_lookup, old.cells, cell_key_ins
+        )
+        new.totals, total_ins_ids, new._total_lookup = resolve(
+            old._total_lookup, old.totals, total_key_ins
+        )
+        new.n_cells = len(new.cells)
+        new.n_totals = len(new.totals)
+
+        new.pair_claim = np.repeat(
+            np.arange(len(col.claim_obj), dtype=np.int64), sizes_per_claim
+        )
+        new.pair_slot = cat(old.pair_slot, ins_slot)
+        # |Vo| never changes under the slot-layout precondition, so the old
+        # per-pair sizes are verbatim valid.
+        new.pair_size = cat(old.pair_size, ins_size_vals)
+        new.pair_is_claimed = cat(old.pair_is_claimed, ins_claimed)
+        new.cell_index = cat(old.cell_index, cell_ins_ids)
+        new.total_index = cat(old.total_index, total_ins_ids)
+        return new
 
 
 class SlotPairExpansion:
@@ -186,7 +348,80 @@ class SlotPairExpansion:
         self.v_slot = starts + within % n_of
 
 
-class ColumnarClaims:
+class SegmentOps:
+    """Per-object segment primitives over a candidate-slot CSR layout.
+
+    Shared by :class:`ColumnarClaims` (the whole dataset) and
+    :class:`~repro.data.sharding.ColumnarShard` (a contiguous object range):
+    any class exposing ``value_offsets`` / ``sizes`` / ``slot_obj`` (plus
+    ``claim_slot`` / ``claim_claimant`` for the claim-level helper) in local
+    coordinates gets the same normalize / argmax / softmax / weighted-vote
+    reductions, so shard kernels run the exact array operations of the
+    unsharded path on their slice.
+    """
+
+    value_offsets: np.ndarray
+    sizes: np.ndarray
+    slot_obj: np.ndarray
+    claim_slot: np.ndarray
+    claim_claimant: np.ndarray
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.value_offsets) - 1
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.value_offsets[-1])
+
+    def segment_sum(self, flat: np.ndarray) -> np.ndarray:
+        """Per-object sum of a ``(n_slots,)`` array -> ``(n_objects,)``."""
+        if self.n_objects == 0:
+            return np.zeros(0, dtype=flat.dtype)
+        return np.add.reduceat(flat, self.value_offsets[:-1])
+
+    def segment_normalize(self, flat: np.ndarray) -> np.ndarray:
+        """Normalize per object; all-zero (or negative-total) segments become
+        uniform, matching the reference algorithms' fallback."""
+        totals = self.segment_sum(flat)
+        safe = np.where(totals > 0, totals, 1.0)
+        out = flat / safe[self.slot_obj]
+        bad = totals <= 0
+        if np.any(bad):
+            uniform = 1.0 / self.sizes.astype(np.float64)
+            out = np.where(bad[self.slot_obj], uniform[self.slot_obj], out)
+        return out
+
+    def segment_argmax_slot(self, flat: np.ndarray) -> np.ndarray:
+        """Per-object argmax -> global slot, first-max tie-break like
+        ``np.argmax`` over each segment."""
+        if self.n_objects == 0:
+            return np.zeros(0, dtype=np.int64)
+        seg_max = np.maximum.reduceat(flat, self.value_offsets[:-1])
+        slot_ids = np.arange(self.n_slots, dtype=np.int64)
+        candidates = np.where(flat == seg_max[self.slot_obj], slot_ids, self.n_slots)
+        return np.minimum.reduceat(candidates, self.value_offsets[:-1])
+
+    def segment_softmax(self, log_flat: np.ndarray) -> np.ndarray:
+        """Per-object ``exp(x - max) / sum`` over a log-score array."""
+        if self.n_objects == 0:
+            return np.zeros(0, dtype=np.float64)
+        seg_max = np.maximum.reduceat(log_flat, self.value_offsets[:-1])
+        shifted = np.exp(log_flat - seg_max[self.slot_obj])
+        totals = np.add.reduceat(shifted, self.value_offsets[:-1])
+        return shifted / totals[self.slot_obj]
+
+    def weighted_counts(self, claimant_weights: np.ndarray) -> np.ndarray:
+        """Per-slot sum of claimant weights -> ``(n_slots,)`` — the weighted
+        vote; ``claimant_weights`` is indexed by (global) claimant id."""
+        return np.bincount(
+            self.claim_slot,
+            weights=claimant_weights[self.claim_claimant],
+            minlength=self.n_slots,
+        )
+
+
+class ColumnarClaims(SegmentOps):
     """Flat integer-array view of a :class:`TruthDiscoveryDataset`.
 
     Attributes
@@ -334,19 +569,11 @@ class ColumnarClaims:
         self._lineage_token = getattr(dataset, "_lineage", None)
 
     # ------------------------------------------------------------------
-    # shape accessors
+    # shape accessors (n_objects / n_slots come from SegmentOps)
     # ------------------------------------------------------------------
-    @property
-    def n_objects(self) -> int:
-        return len(self.objects)
-
     @property
     def n_claimants(self) -> int:
         return len(self.claimants)
-
-    @property
-    def n_slots(self) -> int:
-        return int(self.value_offsets[-1])
 
     @property
     def n_claims(self) -> int:
@@ -378,6 +605,18 @@ class ColumnarClaims:
             self._hierarchy = ColumnarHierarchy(self, self._tree, tour=self._tour_hint)
         return self._hierarchy
 
+    def shards(self, k: int) -> "object":
+        """The :class:`~repro.data.sharding.ColumnarShards` partition of this
+        encoding into ``k`` contiguous object ranges, built once per ``k`` and
+        cached (encodings are immutable snapshots, so caching is safe)."""
+        from .sharding import ColumnarShards
+
+        cache = self.__dict__.setdefault("_shards_cache", {})
+        shards = cache.get(k)
+        if shards is None:
+            shards = cache[k] = ColumnarShards(self, k)
+        return shards
+
     def assert_fresh(self, dataset: "TruthDiscoveryDataset") -> None:
         """Raise :class:`StaleEncodingError` if ``dataset`` mutated since build.
 
@@ -391,46 +630,6 @@ class ColumnarClaims:
                 f" the dataset is now at version {getattr(dataset, '_version', 0)};"
                 " re-fetch dataset.columnar()"
             )
-
-    # ------------------------------------------------------------------
-    # segment primitives (one segment per object)
-    # ------------------------------------------------------------------
-    def segment_sum(self, flat: np.ndarray) -> np.ndarray:
-        """Per-object sum of a ``(n_slots,)`` array -> ``(n_objects,)``."""
-        if self.n_objects == 0:
-            return np.zeros(0, dtype=flat.dtype)
-        return np.add.reduceat(flat, self.value_offsets[:-1])
-
-    def segment_normalize(self, flat: np.ndarray) -> np.ndarray:
-        """Normalize per object; all-zero (or negative-total) segments become
-        uniform, matching the reference algorithms' fallback."""
-        totals = self.segment_sum(flat)
-        safe = np.where(totals > 0, totals, 1.0)
-        out = flat / safe[self.slot_obj]
-        bad = totals <= 0
-        if np.any(bad):
-            uniform = 1.0 / self.sizes.astype(np.float64)
-            out = np.where(bad[self.slot_obj], uniform[self.slot_obj], out)
-        return out
-
-    def segment_argmax_slot(self, flat: np.ndarray) -> np.ndarray:
-        """Per-object argmax -> global slot, first-max tie-break like
-        ``np.argmax`` over each segment."""
-        if self.n_objects == 0:
-            return np.zeros(0, dtype=np.int64)
-        seg_max = np.maximum.reduceat(flat, self.value_offsets[:-1])
-        slot_ids = np.arange(self.n_slots, dtype=np.int64)
-        candidates = np.where(flat == seg_max[self.slot_obj], slot_ids, self.n_slots)
-        return np.minimum.reduceat(candidates, self.value_offsets[:-1])
-
-    def segment_softmax(self, log_flat: np.ndarray) -> np.ndarray:
-        """Per-object ``exp(x - max) / sum`` over a log-score array."""
-        if self.n_objects == 0:
-            return np.zeros(0, dtype=np.float64)
-        seg_max = np.maximum.reduceat(log_flat, self.value_offsets[:-1])
-        shifted = np.exp(log_flat - seg_max[self.slot_obj])
-        totals = np.add.reduceat(shifted, self.value_offsets[:-1])
-        return shifted / totals[self.slot_obj]
 
     # ------------------------------------------------------------------
     # claim aggregations
@@ -449,14 +648,6 @@ class ColumnarClaims:
         return np.bincount(
             self.claim_slot[~self.claim_is_answer], minlength=self.n_slots
         ).astype(np.float64)
-
-    def weighted_counts(self, claimant_weights: np.ndarray) -> np.ndarray:
-        """Per-slot sum of claimant weights -> ``(n_slots,)``."""
-        return np.bincount(
-            self.claim_slot,
-            weights=claimant_weights[self.claim_claimant],
-            minlength=self.n_slots,
-        )
 
     def claimant_counts(self) -> np.ndarray:
         """Claims per claimant -> ``(n_claimants,)`` ints."""
@@ -917,6 +1108,7 @@ class ColumnarAppender:
             if added_claimants
             else col.claimant_is_worker
         )
+        claimant_remap = None
         if bool(np.all(np.diff(first) > 0)):
             if added_claimants:
                 claimant_index = dict(col.claimant_index)
@@ -933,6 +1125,7 @@ class ColumnarAppender:
             claimant_is_worker = claimant_is_worker[order]
             claimant_index = {key: i for i, key in enumerate(claimants)}
             first = first[order]
+            claimant_remap = remap  # provisional id -> re-ranked id
 
         # ---- slot arrays: untouched when the delta is answers-only (the
         # crowdsourcing hot path); otherwise splice the new candidate slots
@@ -1093,7 +1286,20 @@ class ColumnarAppender:
         new._slot_anc_slots = slot_anc_slots
         new._obj_has_hierarchy = obj_has_hierarchy
         new._tree = col._tree
-        new._pairs = None  # claims changed: the cross-join is rebuilt lazily
+        # Pair expansion: when the slot layout is untouched (the
+        # crowdsourcing hot path — answers, or records re-claiming existing
+        # candidates), an already-built cross-join is *spliced* — only the
+        # appended claims' pair rows are computed, and the confusion-cell
+        # key tables are remapped (claimant renumbering included) — instead
+        # of being re-factorized from scratch on the next fit. A never-built
+        # expansion stays lazy; slot moves fall back to the cold rebuild
+        # (every pair's candidate ids would shift).
+        if col._pairs is not None and not slot_changed:
+            new._pairs = PairExpansion.spliced(
+                col._pairs, new, final_ins, claimant_remap=claimant_remap
+            )
+        else:
+            new._pairs = None
         new._slot_pairs = slot_pairs
         new._hierarchy = hierarchy
         new._claimant_first = first

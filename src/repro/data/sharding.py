@@ -1,0 +1,470 @@
+"""Object-range sharding + parallel execution for the columnar engine.
+
+The columnar encoding (:mod:`repro.data.columnar`) already stores every
+per-object quantity in contiguous CSR runs — object ``oid`` owns slots
+``value_offsets[oid]:value_offsets[oid+1]``, claims
+``claim_offsets[oid]:claim_offsets[oid+1]`` and (since claims are grouped by
+object) a contiguous run of the claim x candidate pair expansion. A
+*shard* is therefore nothing more exotic than a contiguous object range
+``[obj_lo, obj_hi)`` viewed in local coordinates: :class:`ColumnarShard`
+rebases the slot/claim/pair indices to the shard and shares the decode
+tables (claimant ids, value ids, the hierarchy's value-level CSR and Euler
+labels) globally, so every per-shard array is a zero-copy slice except for
+the rebased index arrays.
+
+**Merge contract.** The vectorized E/M steps partition cleanly along the
+object axis:
+
+* every per-pair / per-claim / per-slot / per-object quantity of an EM
+  iteration (likelihoods, responsibilities ``f``/``g``, posteriors, losses)
+  depends only on the claims of *one* object, so a shard computes exactly
+  the slice the unsharded path would — same inputs, same operations, same
+  accumulation order within each bin — and the executor's job is only to
+  concatenate the per-shard outputs back in shard order (which *is* object
+  order). The concatenated arrays are **bitwise-equal** to the unsharded
+  path's, not merely close.
+* cross-object reductions (per-source / per-worker trust and confusion
+  counts, global deltas) are *not* reduced per shard: the partial sums
+  would re-associate floating-point addition across the shard boundary.
+  Instead the shards return their per-claim (or per-pair) contributions,
+  and the single global ``np.bincount`` over claimant / confusion-cell ids
+  runs on the concatenated arrays — O(claims), a sliver of the O(pairs)
+  work that was parallelized — reproducing the unsharded accumulation
+  order exactly. ``max``-style convergence deltas are the one exception:
+  ``max`` is associative, so per-shard maxima are folded directly.
+
+:class:`ParallelExecutor` runs shard kernels under three backends:
+
+* ``"serial"`` — a plain loop (also what ``n_jobs=1`` resolves to); useful
+  to exercise the sharded code path deterministically in tests;
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; the
+  kernels spend their time in NumPy ufuncs / ``bincount`` / ``reduceat``
+  over large arrays, which release the GIL, so threads scale on multicore
+  machines with zero serialization cost (the default);
+* ``"process"`` — a ``fork``-based :class:`multiprocessing.Pool` for large
+  K: the shards and per-shard constants are inherited copy-on-write at
+  fork time, per-iteration state arrays travel through
+  :mod:`multiprocessing.shared_memory` blocks (never pickled), and only
+  the per-shard results are serialized back. Kernels must be module-level
+  functions for this backend. Falls back to threads (with a warning) where
+  ``fork`` is unavailable.
+
+Because a shard kernel must be importable for the process backend, every
+algorithm keeps its kernels at module level (see e.g.
+``repro.inference.tdh._tdh_estep_kernel``) and passes loop state through
+the ``state`` dict rather than closures.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .columnar import ColumnarClaims, SegmentOps
+
+#: Arrays at or above this many bytes travel through shared memory in the
+#: process backend; smaller ones ride the (cheaper) pickle of the task.
+SHM_MIN_BYTES = 1 << 15
+
+Kernel = Callable[["ColumnarShard", Dict[str, Any], Dict[str, Any]], Any]
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Worker count for an ``n_jobs`` knob, joblib-style.
+
+    ``None`` / ``0`` / ``1`` mean serial; positive counts are taken as-is;
+    negative counts wrap from the machine size (``-1`` = all cores, ``-2`` =
+    all but one, ...), floored at 1.
+    """
+    if n_jobs is None:
+        return 1
+    n = int(n_jobs)
+    if n == 0:
+        return 1
+    if n < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n)
+    return n
+
+
+class ColumnarShard(SegmentOps):
+    """A contiguous object range of a :class:`ColumnarClaims` in local ids.
+
+    Slot / claim / pair indices are rebased so ``0`` is the shard's first
+    slot / claim; object ids are rebased so ``0`` is ``obj_lo``. Claimant
+    ids, value ids and the confusion-cell ids stay **global** — they are the
+    merge keys of the cross-shard reductions. The hierarchy's slot-level
+    ancestor CSR is sliced per shard (:attr:`slot_anc_offsets` /
+    :attr:`slot_anc_slots`, local slots); the value-level CSR, depths and
+    Euler intervals are shared unchanged via :attr:`hierarchy`, because they
+    are keyed by global value ids.
+    """
+
+    def __init__(self, col: ColumnarClaims, obj_lo: int, obj_hi: int) -> None:
+        self.col = col
+        self.obj_lo = int(obj_lo)
+        self.obj_hi = int(obj_hi)
+        self.slot_lo = int(col.value_offsets[obj_lo])
+        self.slot_hi = int(col.value_offsets[obj_hi])
+        self.claim_lo = int(col.claim_offsets[obj_lo])
+        self.claim_hi = int(col.claim_offsets[obj_hi])
+
+        self.objects = col.objects[obj_lo:obj_hi]
+        self.value_offsets = col.value_offsets[obj_lo : obj_hi + 1] - self.slot_lo
+        self.claim_offsets = col.claim_offsets[obj_lo : obj_hi + 1] - self.claim_lo
+        self.sizes = col.sizes[obj_lo:obj_hi]
+        self.slot_obj = col.slot_obj[self.slot_lo : self.slot_hi] - obj_lo
+        self.slot_vid = col.slot_vid[self.slot_lo : self.slot_hi]  # global vids
+
+        sl = slice(self.claim_lo, self.claim_hi)
+        self.claim_obj = col.claim_obj[sl] - obj_lo
+        self.claim_claimant = col.claim_claimant[sl]  # global claimant ids
+        self.claim_slot = col.claim_slot[sl] - self.slot_lo
+        self.claim_is_answer = col.claim_is_answer[sl]
+        self._pairs_done = False
+
+    @property
+    def n_claims(self) -> int:
+        return self.claim_hi - self.claim_lo
+
+    # ------------------------------------------------------------------
+    # lazy pair-expansion slice (CRH-style fits never pay for it)
+    # ------------------------------------------------------------------
+    def ensure_pairs(self) -> None:
+        """Materialize the shard's slice of ``col.pairs`` (idempotent).
+
+        Called by the sharded fits *before* a process-backend session forks,
+        so children inherit the arrays instead of each rebuilding them.
+        """
+        if self._pairs_done:
+            return
+        pairs = self.col.pairs
+        self.pair_lo = int(np.searchsorted(pairs.pair_claim, self.claim_lo, "left"))
+        self.pair_hi = int(np.searchsorted(pairs.pair_claim, self.claim_hi, "left"))
+        pl = slice(self.pair_lo, self.pair_hi)
+        self.pair_claim = pairs.pair_claim[pl] - self.claim_lo
+        self.pair_slot = pairs.pair_slot[pl] - self.slot_lo
+        self.pair_size = pairs.pair_size[pl]
+        self.pair_is_claimed = pairs.pair_is_claimed[pl]
+        self.cell_index = pairs.cell_index[pl]  # global confusion-cell ids
+        self.total_index = pairs.total_index[pl]
+        self._pairs_done = True
+
+    @property
+    def n_pairs(self) -> int:
+        self.ensure_pairs()
+        return self.pair_hi - self.pair_lo
+
+    # ------------------------------------------------------------------
+    # hierarchy views
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self):
+        """The (global) encoded hierarchy — value-level arrays and Euler
+        intervals are keyed by global value ids, hence shared, not sliced."""
+        return self.col.hierarchy
+
+    @property
+    def slot_anc_offsets(self) -> np.ndarray:
+        """``Go(v)`` CSR offsets for the shard's slots, rebased to 0."""
+        base = self.col._slot_anc_offsets[self.slot_lo]
+        return self.col._slot_anc_offsets[self.slot_lo : self.slot_hi + 1] - base
+
+    @property
+    def slot_anc_slots(self) -> np.ndarray:
+        """``Go(v)`` candidate-ancestor entries as *local* slots."""
+        lo = self.col._slot_anc_offsets[self.slot_lo]
+        hi = self.col._slot_anc_offsets[self.slot_hi]
+        return self.col._slot_anc_slots[lo:hi] - self.slot_lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ColumnarShard(objects=[{self.obj_lo},{self.obj_hi}),"
+            f" slots=[{self.slot_lo},{self.slot_hi}),"
+            f" claims=[{self.claim_lo},{self.claim_hi}))"
+        )
+
+
+class ColumnarShards:
+    """A partition of an encoding into ``<= k`` contiguous object ranges.
+
+    Ranges are cut at object boundaries nearest to equal *claim* counts
+    (claims approximate the pair workload closely), so shard kernels get
+    balanced work even when candidate-set sizes are skewed. Tiny datasets
+    may yield fewer than ``k`` non-empty ranges — never empty ones.
+
+    See the module docstring for the merge contract; :meth:`concat` is its
+    concatenation half, the global ``np.bincount`` over claimant / cell ids
+    (run by the caller on concatenated per-claim arrays) the reduction half.
+    """
+
+    def __init__(self, col: ColumnarClaims, k: int) -> None:
+        self.col = col
+        n_obj = col.n_objects
+        k = max(1, min(int(k), n_obj)) if n_obj else 1
+        if k <= 1 or n_obj == 0:
+            cuts: List[int] = []
+        else:
+            targets = np.arange(1, k) * col.n_claims // k
+            bounds = np.searchsorted(col.claim_offsets, targets, side="left")
+            bounds = np.clip(bounds, 1, n_obj - 1)
+            cuts = sorted(set(int(b) for b in bounds))
+        edges = [0, *cuts, n_obj]
+        self.shards: List[ColumnarShard] = [
+            ColumnarShard(col, lo, hi) for lo, hi in zip(edges[:-1], edges[1:])
+        ]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[ColumnarShard]:
+        return iter(self.shards)
+
+    def __getitem__(self, i: int) -> ColumnarShard:
+        return self.shards[i]
+
+    def ensure_pairs(self) -> None:
+        """Materialize every shard's pair slice (see shard.ensure_pairs)."""
+        for shard in self.shards:
+            shard.ensure_pairs()
+
+    # ------------------------------------------------------------------
+    # slicing helpers for per-fit constants
+    # ------------------------------------------------------------------
+    def slice_pairs(self, arr: np.ndarray) -> List[np.ndarray]:
+        """A global per-pair array -> one (view) slice per shard."""
+        self.ensure_pairs()
+        return [arr[s.pair_lo : s.pair_hi] for s in self.shards]
+
+    def slice_claims(self, arr: np.ndarray) -> List[np.ndarray]:
+        """A global per-claim array -> one (view) slice per shard."""
+        return [arr[s.claim_lo : s.claim_hi] for s in self.shards]
+
+    def slice_slots(self, arr: np.ndarray) -> List[np.ndarray]:
+        """A global per-slot array -> one (view) slice per shard."""
+        return [arr[s.slot_lo : s.slot_hi] for s in self.shards]
+
+    @staticmethod
+    def concat(parts: Sequence[np.ndarray]) -> np.ndarray:
+        """Merge per-shard outputs back into the global (object-order) array."""
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+
+def parallel_plan(
+    col: ColumnarClaims,
+    n_jobs: Optional[int] = 1,
+    shards: Optional[int] = None,
+    backend: str = "thread",
+) -> Tuple[ColumnarShards, "ParallelExecutor"]:
+    """The ``(ColumnarShards, ParallelExecutor)`` pair behind an ``n_jobs``
+    knob: ``shards`` overrides the shard count (default: one per worker),
+    the worker count follows :func:`resolve_jobs`. ``shards=K, n_jobs=1``
+    runs the sharded code path serially — the deterministic configuration
+    the bitwise-parity property tests pin down.
+    """
+    jobs = resolve_jobs(n_jobs)
+    k = int(shards) if shards is not None else jobs
+    return col.shards(k), ParallelExecutor(jobs, backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# process-backend plumbing (fork: payload inherited, state via shared memory)
+# ---------------------------------------------------------------------------
+#: Set in the parent immediately before forking the pool; children inherit
+#: it copy-on-write and read it in :func:`_process_entry`.
+_FORK_PAYLOAD: Optional[Tuple[Sequence[ColumnarShard], Sequence[Dict[str, Any]]]] = None
+
+
+def _process_entry(task):
+    """Pool task: run one shard's kernel against shm-backed state."""
+    from multiprocessing import shared_memory
+
+    module, qualname, idx, small_state, shm_specs = task
+    kernel = importlib.import_module(module)
+    for name in qualname.split("."):
+        kernel = getattr(kernel, name)
+    shards, consts = _FORK_PAYLOAD  # inherited at fork time
+    state = dict(small_state)
+    blocks = []
+    try:
+        for key, shm_name, shape, dtype in shm_specs:
+            shm = shared_memory.SharedMemory(name=shm_name)
+            blocks.append(shm)
+            state[key] = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        result = kernel(shards[idx], consts[idx], state)
+        # Results must not alias the shared blocks once they are closed;
+        # kernels return fresh arrays, but copy defensively if one leaks a
+        # view (the copy is O(result), never O(state)).
+        if isinstance(result, tuple):
+            result = tuple(_unshared(r, blocks) for r in result)
+        else:
+            result = _unshared(result, blocks)
+        return result
+    finally:
+        for shm in blocks:
+            shm.close()
+
+
+def _unshared(value, blocks):
+    if isinstance(value, np.ndarray) and any(
+        np.shares_memory(value, np.ndarray((b.size,), dtype=np.uint8, buffer=b.buf))
+        for b in blocks
+    ):
+        return value.copy()
+    return value
+
+
+class _SerialSession:
+    def __init__(self, shards, consts):
+        self.shards = shards
+        self.consts = consts
+
+    def map(self, kernel: Kernel, state: Optional[Dict[str, Any]] = None) -> List[Any]:
+        state = state or {}
+        return [kernel(s, c, state) for s, c in zip(self.shards, self.consts)]
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadSession(_SerialSession):
+    def __init__(self, shards, consts, n_jobs):
+        super().__init__(shards, consts)
+        self.pool = ThreadPoolExecutor(max_workers=n_jobs)
+
+    def map(self, kernel: Kernel, state: Optional[Dict[str, Any]] = None) -> List[Any]:
+        state = state or {}
+        futures = [
+            self.pool.submit(kernel, s, c, state)
+            for s, c in zip(self.shards, self.consts)
+        ]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True)
+
+
+class _ProcessSession:
+    def __init__(self, shards, consts, n_jobs):
+        import multiprocessing
+
+        global _FORK_PAYLOAD
+        ctx = multiprocessing.get_context("fork")
+        _FORK_PAYLOAD = (list(shards), list(consts))
+        try:
+            self.pool = ctx.Pool(processes=min(n_jobs, max(len(shards), 1)))
+        finally:
+            _FORK_PAYLOAD = None
+        self.n_shards = len(shards)
+
+    def map(self, kernel: Kernel, state: Optional[Dict[str, Any]] = None) -> List[Any]:
+        from multiprocessing import shared_memory
+
+        state = state or {}
+        small: Dict[str, Any] = {}
+        shm_specs = []
+        blocks = []
+        try:
+            for key, value in state.items():
+                arr = value if isinstance(value, np.ndarray) else None
+                if arr is not None and arr.nbytes >= SHM_MIN_BYTES:
+                    arr = np.ascontiguousarray(arr)
+                    shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+                    blocks.append(shm)
+                    np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+                    shm_specs.append((key, shm.name, arr.shape, str(arr.dtype)))
+                else:
+                    small[key] = value
+            tasks = [
+                (kernel.__module__, kernel.__qualname__, i, small, shm_specs)
+                for i in range(self.n_shards)
+            ]
+            return self.pool.map(_process_entry, tasks)
+        finally:
+            for shm in blocks:
+                shm.close()
+                shm.unlink()
+
+    def close(self) -> None:
+        self.pool.close()
+        self.pool.join()
+
+
+class ParallelExecutor:
+    """Runs shard kernels under a serial / thread / process backend.
+
+    Usage (one *session* per fit, one ``map`` per EM iteration)::
+
+        shards, executor = parallel_plan(col, n_jobs=4)
+        with executor.session(shards, consts_per_shard) as sess:
+            for _ in range(max_iter):
+                parts = sess.map(kernel, {"mu": mu, "trust": trust})
+                ...  # concatenate parts, run the global reductions
+
+    ``n_jobs <= 1`` always yields the serial backend. The process backend
+    requires the ``fork`` start method (children must inherit the shard
+    arrays); elsewhere it degrades to threads with a warning.
+    """
+
+    BACKENDS = ("serial", "thread", "process")
+
+    def __init__(self, n_jobs: int = 1, backend: str = "thread") -> None:
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self.BACKENDS}; got {backend!r}"
+            )
+        self.n_jobs = resolve_jobs(n_jobs)
+        if self.n_jobs <= 1:
+            backend = "serial"
+        elif backend == "process":
+            import multiprocessing
+
+            if "fork" not in multiprocessing.get_all_start_methods():
+                warnings.warn(
+                    "process backend needs the 'fork' start method; falling"
+                    " back to threads",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                backend = "thread"
+        self.backend = backend
+
+    def session(
+        self,
+        shards: ColumnarShards,
+        consts: Optional[Sequence[Dict[str, Any]]] = None,
+    ) -> "_ExecutorSession":
+        consts = list(consts) if consts is not None else [{} for _ in shards]
+        if len(consts) != len(shards):
+            raise ValueError(
+                f"got {len(consts)} consts dicts for {len(shards)} shards"
+            )
+        if self.backend == "thread" and len(shards) > 1:
+            inner = _ThreadSession(list(shards), consts, self.n_jobs)
+        elif self.backend == "process" and len(shards) > 1:
+            inner = _ProcessSession(list(shards), consts, self.n_jobs)
+        else:
+            inner = _SerialSession(list(shards), consts)
+        return _ExecutorSession(inner)
+
+
+class _ExecutorSession:
+    """Context-manager wrapper so fits cannot leak pools on early returns."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def map(self, kernel: Kernel, state: Optional[Dict[str, Any]] = None) -> List[Any]:
+        return self._inner.map(kernel, state)
+
+    def __enter__(self) -> "_ExecutorSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._inner.close()

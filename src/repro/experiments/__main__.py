@@ -36,6 +36,18 @@ def build_parser() -> argparse.ArgumentParser:
             " selection (auto, default)"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker count for the sharded parallel E/M executor (columnar"
+            " engine only; TDH/LFC/CRH everywhere they run, DS/ZENCROWD in"
+            " table3x). -1 uses every core; results are bitwise-identical"
+            " at any N"
+        ),
+    )
     return parser
 
 
@@ -51,8 +63,11 @@ def main(argv=None) -> int:
         print(f"=== {name} ===")
         entry = EXPERIMENTS[name].main
         kwargs = {"full": args.full}
-        if "engine" in inspect.signature(entry).parameters:
+        parameters = inspect.signature(entry).parameters
+        if "engine" in parameters:
             kwargs["engine"] = args.engine
+        if "jobs" in parameters:
+            kwargs["jobs"] = args.jobs
         entry(**kwargs)
     return 0
 

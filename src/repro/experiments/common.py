@@ -96,18 +96,24 @@ def both_datasets(s: ExperimentScale) -> Dict[str, TruthDiscoveryDataset]:
 # algorithm registries (the paper's Section 5.1 lists)
 # ---------------------------------------------------------------------------
 def inference_factories(
-    s: ExperimentScale, engine: str = "auto"
+    s: ExperimentScale, engine: str = "auto", n_jobs: int = 1
 ) -> Dict[str, Callable[[], TruthInferenceAlgorithm]]:
     """The ten single-truth inference algorithms of Table 3.
 
     ``engine`` (``"auto"`` / ``"reference"`` / ``"columnar"``) selects the
     execution engine for the algorithms that ship a columnar fast path —
     all of them except MDC; see ``docs/algorithms.md`` for the matrix.
+    ``n_jobs`` (the CLI's ``--jobs``) additionally shards the columnar E/M
+    steps of the parallel-capable algorithms (TDH, LFC, CRH here; DS and
+    ZENCROWD in the Table-3-extended set) over that many workers — results
+    are bitwise-identical at any worker count.
     """
     iters = s.em_iterations
     tol = s.em_tol
     return {
-        "TDH": lambda: TDHModel(max_iter=iters, tol=tol, use_columnar=engine),
+        "TDH": lambda: TDHModel(
+            max_iter=iters, tol=tol, use_columnar=engine, n_jobs=n_jobs
+        ),
         "VOTE": lambda: Vote(use_columnar=engine),
         "LCA": lambda: GuessLca(max_iter=iters, tol=tol, use_columnar=engine),
         "DOCS": lambda: Docs(max_iter=iters, tol=tol, use_columnar=engine),
@@ -117,21 +123,26 @@ def inference_factories(
         "POPACCU": lambda: PopAccu(
             max_iter=min(iters, 15), tol=tol, use_columnar=engine
         ),
-        "LFC": lambda: Lfc(max_iter=min(iters, 20), tol=tol, use_columnar=engine),
-        "CRH": lambda: Crh(max_iter=min(iters, 20), tol=tol, use_columnar=engine),
+        "LFC": lambda: Lfc(
+            max_iter=min(iters, 20), tol=tol, use_columnar=engine, n_jobs=n_jobs
+        ),
+        "CRH": lambda: Crh(
+            max_iter=min(iters, 20), tol=tol, use_columnar=engine, n_jobs=n_jobs
+        ),
     }
 
 
 def assigner_factories(engine: str = "auto") -> Dict[str, Callable[[], TaskAssigner]]:
     """The Table-4 assignment policies.
 
-    ``engine`` threads the execution-engine choice into EAI (the only
-    assigner with a columnar fast path — it consumes TDH's EM state); the
-    other policies have no engine switch.
+    ``engine`` threads the execution-engine choice into the two assigners
+    with a columnar fast path: EAI (consumes TDH's EM state) and QASCA
+    (consumes the flat confidences); the other policies have no engine
+    switch.
     """
     return {
         "EAI": lambda: EAIAssigner(use_columnar=engine),
-        "QASCA": lambda: QascaAssigner(seed=0),
+        "QASCA": lambda: QascaAssigner(seed=0, use_columnar=engine),
         "ME": lambda: MaxEntropyAssigner(),
         "MB": lambda: MbAssigner(),
     }
@@ -162,15 +173,20 @@ HEADLINE_COMBOS: Sequence[Sequence[str]] = (
 
 
 def make_combo(
-    inference: str, assigner: str, s: ExperimentScale, engine: str = "auto"
+    inference: str,
+    assigner: str,
+    s: ExperimentScale,
+    engine: str = "auto",
+    n_jobs: int = 1,
 ) -> tuple[TruthInferenceAlgorithm, TaskAssigner]:
     """Instantiate an inference+assignment pair by name.
 
     ``engine`` selects the execution engine for both sides of the combo
-    (inference fast paths and EAI's columnar quality measure), so a whole
-    crowdsourcing run stays on one encoding.
+    (inference fast paths and the EAI/QASCA columnar quality measures), so
+    a whole crowdsourcing run stays on one encoding; ``n_jobs`` shards the
+    parallel-capable inference E/M steps across workers.
     """
-    model = inference_factories(s, engine=engine)[inference]()
+    model = inference_factories(s, engine=engine, n_jobs=n_jobs)[inference]()
     task_assigner = assigner_factories(engine)[assigner]()
     return model, task_assigner
 

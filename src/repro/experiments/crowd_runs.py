@@ -22,9 +22,16 @@ def run_combo(
     answer_seed: int = 5,
     evaluate_every: int = 1,
     engine: str = "auto",
+    jobs: int = 1,
 ) -> SimulationHistory:
-    """Run one inference+assignment combo through the crowdsourcing loop."""
-    model, task_assigner = make_combo(inference, assigner, s, engine=engine)
+    """Run one inference+assignment combo through the crowdsourcing loop.
+
+    ``engine`` / ``jobs`` thread the execution-engine and E/M-sharding
+    choices into the combo, so the whole simulated crowd run stays on one
+    live encoding and (for parallel-capable algorithms) fans its EM rounds
+    out over ``jobs`` workers.
+    """
+    model, task_assigner = make_combo(inference, assigner, s, engine=engine, n_jobs=jobs)
     panel = (
         list(workers)
         if workers is not None

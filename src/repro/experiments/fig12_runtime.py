@@ -30,7 +30,7 @@ FIG12_COMBOS = (
 
 
 def run(
-    full: bool = False, rounds: int = 5, engine: str = "auto"
+    full: bool = False, rounds: int = 5, engine: str = "auto", jobs: int = 1
 ) -> Dict[str, List[dict]]:
     """``engine`` selects the inference execution path for the algorithms
     with a columnar fast path (``reference`` / ``columnar`` / ``auto``)."""
@@ -47,6 +47,7 @@ def run(
                 rounds=rounds,
                 evaluate_every=1,
                 engine=engine,
+                jobs=jobs,
             )
             records = history.records[1:]
             inf_time = sum(r.inference_seconds for r in records) / len(records)
@@ -64,8 +65,8 @@ def run(
     return out
 
 
-def main(full: bool = False, engine: str = "auto") -> None:
-    results = run(full, engine=engine)
+def main(full: bool = False, engine: str = "auto", jobs: int = 1) -> None:
+    results = run(full, engine=engine, jobs=jobs)
     for ds_name, rows in results.items():
         print(
             format_table(

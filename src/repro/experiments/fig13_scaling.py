@@ -26,6 +26,7 @@ def run(
     full: bool = False,
     factors: Sequence[int] | None = None,
     engine: str = "auto",
+    jobs: int = 1,
 ) -> Dict[str, List[dict]]:
     s = scale(full)
     factors = factors if factors is not None else ((5, 10, 15) if full else (1, 2, 4))
@@ -37,12 +38,15 @@ def run(
         for factor in factors:
             scaled = dataset.scaled(factor)
             model = TDHModel(
-                max_iter=min(s.em_iterations, 15), tol=s.em_tol, use_columnar=engine
+                max_iter=min(s.em_iterations, 15),
+                tol=s.em_tol,
+                use_columnar=engine,
+                n_jobs=jobs,
             )
             result = model.fit(scaled)
 
             crh = Crh(max_iter=min(s.em_iterations, 20), tol=s.em_tol,
-                      use_columnar=engine)
+                      use_columnar=engine, n_jobs=jobs)
             t0 = time.perf_counter()
             crh.fit(scaled)
             crh_time = time.perf_counter() - t0
@@ -75,8 +79,8 @@ def run(
     return out
 
 
-def main(full: bool = False, engine: str = "auto") -> None:
-    results = run(full, engine=engine)
+def main(full: bool = False, engine: str = "auto", jobs: int = 1) -> None:
+    results = run(full, engine=engine, jobs=jobs)
     for ds_name, rows in results.items():
         print(
             format_table(

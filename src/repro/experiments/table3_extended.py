@@ -24,7 +24,10 @@ from ..inference import (
 from .common import both_datasets, format_table, inference_factories, scale
 
 
-def extra_factories(s) -> Dict[str, object]:
+def extra_factories(s, engine: str = "auto", n_jobs: int = 1) -> Dict[str, object]:
+    """``engine`` / ``n_jobs`` reach the two extended algorithms with a
+    columnar (and parallel-capable) engine: DS and ZENCROWD; the
+    link-analysis family is reference-only."""
     iters = min(s.em_iterations, 20)
     return {
         "SUMS": lambda: Sums(max_iter=iters),
@@ -32,15 +35,15 @@ def extra_factories(s) -> Dict[str, object]:
         "INVEST": lambda: Investment(max_iter=iters),
         "POOLED": lambda: PooledInvestment(max_iter=iters),
         "TRUTHFINDER": lambda: TruthFinder(max_iter=iters),
-        "DS": lambda: DawidSkene(max_iter=iters),
-        "ZENCROWD": lambda: ZenCrowd(max_iter=iters),
+        "DS": lambda: DawidSkene(max_iter=iters, use_columnar=engine, n_jobs=n_jobs),
+        "ZENCROWD": lambda: ZenCrowd(max_iter=iters, use_columnar=engine, n_jobs=n_jobs),
     }
 
 
-def run(full: bool = False) -> Dict[str, List[dict]]:
+def run(full: bool = False, engine: str = "auto", jobs: int = 1) -> Dict[str, List[dict]]:
     s = scale(full)
-    factories = dict(inference_factories(s))
-    factories.update(extra_factories(s))
+    factories = dict(inference_factories(s, engine=engine, n_jobs=jobs))
+    factories.update(extra_factories(s, engine=engine, n_jobs=jobs))
     out: Dict[str, List[dict]] = {}
     for ds_name, dataset in both_datasets(s).items():
         rows = []
@@ -53,8 +56,8 @@ def run(full: bool = False) -> Dict[str, List[dict]]:
     return out
 
 
-def main(full: bool = False) -> None:
-    results = run(full)
+def main(full: bool = False, engine: str = "auto", jobs: int = 1) -> None:
+    results = run(full, engine=engine, jobs=jobs)
     for ds_name, rows in results.items():
         print(
             format_table(

@@ -29,12 +29,13 @@ posterior exceeds a threshold is emitted.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple, Union
+from typing import Dict, Hashable, Optional, Set, Tuple, Union
 
 import numpy as np
 
 from ..data.columnar import resolve_engine
 from ..data.model import ObjectId, TruthDiscoveryDataset
+from ..data.sharding import ColumnarShards, parallel_plan
 from ..hierarchy.tree import Value
 from .base import (
     ColumnarInferenceResult,
@@ -42,6 +43,7 @@ from .base import (
     TruthInferenceAlgorithm,
     initial_confidences,
 )
+from .dawid_skene import _confusion_estep_kernel
 
 
 class Lfc(TruthInferenceAlgorithm):
@@ -56,6 +58,9 @@ class Lfc(TruthInferenceAlgorithm):
     use_columnar:
         Engine selector (``True`` / ``False`` / ``"auto"``); see
         :func:`repro.data.columnar.resolve_engine`.
+    n_jobs, shards, parallel_backend:
+        Parallel-execution knobs for the columnar engine (object-range
+        shards, bitwise-identical results; see :mod:`repro.data.sharding`).
     """
 
     name = "LFC"
@@ -67,11 +72,17 @@ class Lfc(TruthInferenceAlgorithm):
         max_iter: int = 50,
         tol: float = 1e-5,
         use_columnar: Union[bool, str] = "auto",
+        n_jobs: int = 1,
+        shards: Optional[int] = None,
+        parallel_backend: str = "thread",
     ) -> None:
         self.smoothing = smoothing
         self.max_iter = max_iter
         self.tol = tol
         self.use_columnar = use_columnar
+        self.n_jobs = n_jobs
+        self.shards = shards
+        self.parallel_backend = parallel_backend
 
     def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
         if resolve_engine(self.use_columnar, dataset):
@@ -84,34 +95,45 @@ class Lfc(TruthInferenceAlgorithm):
     def _fit_columnar(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
         col = dataset.columnar()
         pairs = col.pairs
+        shards, executor = parallel_plan(
+            col, self.n_jobs, self.shards, self.parallel_backend
+        )
+        shards.ensure_pairs()
         mu = col.initial_confidences_flat()
         iterations = 0
         converged = False
+        # The Dawid-Skene kernel without the class-prior term (LFC's E-step
+        # uses a uniform prior): the log-posterior is the likelihood sum.
+        consts = [{"with_prior": False} for _ in shards]
 
-        for iterations in range(1, self.max_iter + 1):
-            # M-step: pair (claim j, candidate slot s) adds mu[s] to the
-            # claimant's (truth, claimed) confusion cell and (truth,) total.
-            weight = mu[pairs.pair_slot]
-            cells = np.bincount(pairs.cell_index, weights=weight, minlength=pairs.n_cells)
-            totals = np.bincount(
-                pairs.total_index, weights=weight, minlength=pairs.n_totals
-            )
+        with executor.session(shards, consts) as sess:
+            for iterations in range(1, self.max_iter + 1):
+                # M-step: pair (claim j, candidate slot s) adds mu[s] to the
+                # claimant's (truth, claimed) confusion cell and (truth,)
+                # total — a global reduction (cells span shards).
+                weight = mu[pairs.pair_slot]
+                cells = np.bincount(
+                    pairs.cell_index, weights=weight, minlength=pairs.n_cells
+                )
+                totals = np.bincount(
+                    pairs.total_index, weights=weight, minlength=pairs.n_totals
+                )
 
-            # E-step: uniform prior — the log-posterior is the claim
-            # log-likelihood sum alone.
-            contrib = np.log(
-                (cells[pairs.cell_index] + self.smoothing)
-                / (totals[pairs.total_index] + self.smoothing * pairs.pair_size)
-            )
-            log_post = np.bincount(
-                pairs.pair_slot, weights=contrib, minlength=col.n_slots
-            )
-            posterior = col.segment_softmax(log_post)
-            delta = float(np.max(np.abs(posterior - mu))) if col.n_slots else 0.0
-            mu = posterior
-            if delta < self.tol:
-                converged = True
-                break
+                parts = sess.map(
+                    _confusion_estep_kernel,
+                    {
+                        "mu": mu,
+                        "cells": cells,
+                        "totals": totals,
+                        "smoothing": self.smoothing,
+                    },
+                )
+                posterior = ColumnarShards.concat([p[0] for p in parts])
+                delta = max((p[1] for p in parts), default=0.0)
+                mu = posterior
+                if delta < self.tol:
+                    converged = True
+                    break
         return ColumnarInferenceResult(dataset, col, mu, iterations, converged)
 
     # ------------------------------------------------------------------

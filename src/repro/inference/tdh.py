@@ -42,6 +42,7 @@ import numpy as np
 
 from ..data.columnar import ColumnarClaims, resolve_engine
 from ..data.model import ObjectId, SourceId, TruthDiscoveryDataset, WorkerId
+from ..data.sharding import ColumnarShards, parallel_plan
 from ._structures import ObjectStructure, StructureCache
 from .base import InferenceResult, TruthInferenceAlgorithm
 
@@ -108,6 +109,46 @@ class TDHResult(InferenceResult):
         return prior_arr / prior_arr.sum()
 
 
+def _tdh_estep_kernel(shard, consts, state):
+    """One TDH E-step over one object-range shard (Figure 4, Eq. 1-8).
+
+    ``consts`` holds the shard's slices of the per-pair case weights (built
+    once per fit), ``state`` the loop state (``trust``, global flat ``mu``).
+    Returns the shard's slice of the confidence numerator sums plus the
+    per-claim case responsibilities ``g1``/``g2``/``g3`` — the per-claimant
+    reduction runs globally on the concatenated arrays so the accumulation
+    order (hence every float) matches the unsharded path exactly; see the
+    merge contract in :mod:`repro.data.sharding`.
+    """
+    trust = state["trust"]
+    mu = state["mu"][shard.slot_lo : shard.slot_hi]
+    pc = consts["pair_claimant"]
+    mu_pair = mu[shard.pair_slot]
+    like = (
+        trust[:, 0][pc] * consts["exact"]
+        + trust[:, 1][pc] * consts["case2"]
+        + trust[:, 2][pc] * consts["case3"]
+    )
+    joint = like * mu_pair
+    z = np.bincount(shard.pair_claim, weights=joint, minlength=shard.n_claims)
+    zpos = z > 0
+    z_safe = np.where(zpos, z, 1.0)
+    # Degenerate claims (z <= 0) fall back to the prior confidence, exactly
+    # like the reference sweep.
+    f = np.where(zpos[shard.pair_claim], joint / z_safe[shard.pair_claim], mu_pair)
+    f_sum = np.bincount(shard.pair_slot, weights=f, minlength=shard.n_slots)
+
+    t_claim = trust[shard.claim_claimant]
+    s2 = np.bincount(
+        shard.pair_claim, weights=consts["case2"] * mu_pair, minlength=shard.n_claims
+    )
+    third = 1.0 / 3.0
+    g1 = np.where(zpos, t_claim[:, 0] * mu[shard.claim_slot] / z_safe, third)
+    g2 = np.where(zpos, t_claim[:, 1] * s2 / z_safe, third)
+    g3 = np.where(zpos, np.maximum(0.0, 1.0 - g1 - g2), third)
+    return f_sum, g1, g2, g3
+
+
 class TDHModel(TruthInferenceAlgorithm):
     """The paper's hierarchical truth-inference EM.
 
@@ -136,6 +177,13 @@ class TDHModel(TruthInferenceAlgorithm):
     use_columnar:
         Engine selector (``True`` / ``False`` / ``"auto"``); see
         :func:`repro.data.columnar.resolve_engine`.
+    n_jobs, shards, parallel_backend:
+        Parallel-execution knobs for the columnar engine: the E/M steps run
+        over ``shards`` object-range shards (default: one per worker) on
+        ``n_jobs`` workers (``-1`` = all cores) under the given backend
+        (``"thread"`` / ``"process"`` / ``"serial"``). Results are bitwise
+        identical to the unsharded path for every configuration; see
+        :mod:`repro.data.sharding`.
     """
 
     name = "TDH"
@@ -152,6 +200,9 @@ class TDHModel(TruthInferenceAlgorithm):
         use_popularity: bool = True,
         collapse_flat_objects: bool = True,
         use_columnar: Union[bool, str] = "auto",
+        n_jobs: int = 1,
+        shards: Optional[int] = None,
+        parallel_backend: str = "thread",
     ) -> None:
         self.alpha = np.asarray(alpha, dtype=float)
         self.beta = np.asarray(beta, dtype=float)
@@ -166,6 +217,9 @@ class TDHModel(TruthInferenceAlgorithm):
         self.use_popularity = use_popularity
         self.collapse_flat_objects = collapse_flat_objects
         self.use_columnar = use_columnar
+        self.n_jobs = n_jobs
+        self.shards = shards
+        self.parallel_backend = parallel_backend
 
     def make_structure_cache(self, dataset: TruthDiscoveryDataset) -> StructureCache:
         """A structure cache matching this model's ablation flags."""
@@ -264,6 +318,9 @@ class TDHModel(TruthInferenceAlgorithm):
     ) -> TDHResult:
         col = dataset.columnar()
         pairs = col.pairs
+        shards, executor = parallel_plan(
+            col, self.n_jobs, self.shards, self.parallel_backend
+        )
         cache = structures if structures is not None else self.make_structure_cache(dataset)
         prior_phi = self.alpha / self.alpha.sum()
         prior_psi = self.beta / self.beta.sum()
@@ -280,11 +337,22 @@ class TDHModel(TruthInferenceAlgorithm):
                 if vec is not None:
                     trust[cid] = vec
 
+        # Per-pair case weights of Eq. (1)-(4): iteration-invariant, computed
+        # once globally and sliced per shard into the kernel constants.
         exact_f, src2, src3, wrk2, wrk3 = self._pair_case_arrays(col)
         is_answer_pair = col.claim_is_answer[pairs.pair_claim]
         case2 = np.where(is_answer_pair, wrk2, src2)
         case3 = np.where(is_answer_pair, wrk3, src3)
         pair_claimant = col.claim_claimant[pairs.pair_claim]
+        consts = [
+            {"exact": e, "case2": c2, "case3": c3, "pair_claimant": pc}
+            for e, c2, c3, pc in zip(
+                shards.slice_pairs(exact_f),
+                shards.slice_pairs(case2),
+                shards.slice_pairs(case3),
+                shards.slice_pairs(pair_claimant),
+            )
+        ]
 
         mu = col.initial_confidences_flat()
         gamma_minus_1 = self.gamma - 1.0
@@ -302,62 +370,45 @@ class TDHModel(TruthInferenceAlgorithm):
         numer_flat = np.zeros(col.n_slots, dtype=np.float64)
         iterations = 0
         converged = False
-        third = 1.0 / 3.0
 
-        for iterations in range(1, self.max_iter + 1):
-            # E-step: likelihood of every claim under every candidate truth.
-            like = (
-                trust[:, 0][pair_claimant] * exact_f
-                + trust[:, 1][pair_claimant] * case2
-                + trust[:, 2][pair_claimant] * case3
-            )
-            joint = like * mu[pairs.pair_slot]
-            z = np.bincount(pairs.pair_claim, weights=joint, minlength=col.n_claims)
-            zpos = z > 0
-            z_safe = np.where(zpos, z, 1.0)
-            # Degenerate claims (z <= 0) fall back to the prior confidence,
-            # exactly like the reference sweep.
-            f = np.where(
-                zpos[pairs.pair_claim],
-                joint / z_safe[pairs.pair_claim],
-                mu[pairs.pair_slot],
-            )
-            f_sum = np.bincount(pairs.pair_slot, weights=f, minlength=col.n_slots)
+        with executor.session(shards, consts) as sess:
+            for iterations in range(1, self.max_iter + 1):
+                # E-step per shard: every per-claim / per-slot quantity is
+                # computed inside the shard that owns the object.
+                parts = sess.map(_tdh_estep_kernel, {"trust": trust, "mu": mu})
+                f_sum = ColumnarShards.concat([p[0] for p in parts])
+                g1 = ColumnarShards.concat([p[1] for p in parts])
+                g2 = ColumnarShards.concat([p[2] for p in parts])
+                g3 = ColumnarShards.concat([p[3] for p in parts])
+                # Cross-shard reduction over claimants: one global bincount
+                # on the concatenated per-claim responsibilities (the merge
+                # contract's bitwise-stable half).
+                g_sums = np.stack(
+                    [
+                        np.bincount(
+                            col.claim_claimant, weights=g, minlength=col.n_claimants
+                        )
+                        for g in (g1, g2, g3)
+                    ],
+                    axis=1,
+                )
 
-            # Case responsibilities g per claim (Figure 4).
-            t_claim = trust[col.claim_claimant]
-            s2 = np.bincount(
-                pairs.pair_claim,
-                weights=case2 * mu[pairs.pair_slot],
-                minlength=col.n_claims,
-            )
-            g1 = np.where(zpos, t_claim[:, 0] * mu[col.claim_slot] / z_safe, third)
-            g2 = np.where(zpos, t_claim[:, 1] * s2 / z_safe, third)
-            g3 = np.where(zpos, np.maximum(0.0, 1.0 - g1 - g2), third)
-            g_sums = np.stack(
-                [
-                    np.bincount(col.claim_claimant, weights=g, minlength=col.n_claimants)
-                    for g in (g1, g2, g3)
-                ],
-                axis=1,
-            )
+                # M-step for trustworthiness (Eq. 10-11).
+                count_c = g_sums.sum(axis=1)
+                denom_c = count_c + prior_m1.sum(axis=1)
+                vec = (g_sums + prior_m1) / np.where(denom_c > 0, denom_c, 1.0)[:, None]
+                vec = np.clip(vec, 1e-12, None)
+                vec = vec / vec.sum(axis=1, keepdims=True)
+                trust = np.where((denom_c > 0)[:, None], vec, prior_mean)
 
-            # M-step for trustworthiness (Eq. 10-11).
-            count_c = g_sums.sum(axis=1)
-            denom_c = count_c + prior_m1.sum(axis=1)
-            vec = (g_sums + prior_m1) / np.where(denom_c > 0, denom_c, 1.0)[:, None]
-            vec = np.clip(vec, 1e-12, None)
-            vec = vec / vec.sum(axis=1, keepdims=True)
-            trust = np.where((denom_c > 0)[:, None], vec, prior_mean)
-
-            # M-step for confidences (Eq. 9).
-            numer_flat = f_sum + gamma_minus_1
-            new_mu = np.where(den_positive, numer_flat / den_safe, uniform_slot)
-            delta = float(np.max(np.abs(new_mu - mu))) if col.n_slots else 0.0
-            mu = new_mu
-            if delta < self.tol:
-                converged = True
-                break
+                # M-step for confidences (Eq. 9).
+                numer_flat = f_sum + gamma_minus_1
+                new_mu = np.where(den_positive, numer_flat / den_safe, uniform_slot)
+                delta = float(np.max(np.abs(new_mu - mu))) if col.n_slots else 0.0
+                mu = new_mu
+                if delta < self.tol:
+                    converged = True
+                    break
 
         phi: Dict[SourceId, np.ndarray] = {}
         psi: Dict[WorkerId, np.ndarray] = {}

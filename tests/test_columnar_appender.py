@@ -388,3 +388,176 @@ def test_crowd_loop_engines_agree_exactly():
         len(tasks) for assignment in sim_col.assignment_log
         for tasks in assignment.values()
     )
+
+
+# ---------------------------------------------------------------------------
+# incremental PairExpansion splicing
+# ---------------------------------------------------------------------------
+PAIR_LAYOUT_ARRAYS = (
+    "pair_claim",
+    "pair_slot",
+    "pair_size",
+    "pair_is_claimed",
+)
+
+
+def canonical_labels(index: np.ndarray) -> np.ndarray:
+    """Relabel dense ids by first occurrence — the invariant representation
+    of a cell partition (spliced expansions keep ids append-stable, cold
+    builds use np.unique order; EM is bitwise-identical under either)."""
+    uniq, first, inv = np.unique(index, return_index=True, return_inverse=True)
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[np.argsort(first)] = np.arange(len(uniq))
+    return rank[inv]
+
+
+def assert_pairs_equal(spliced, cold, col) -> None:
+    """Pair layout exactly equal; confusion factorization equal up to the
+    documented id relabeling (same partition, and the stable-id keys decode
+    back to the cold build's key set)."""
+    for name in PAIR_LAYOUT_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(spliced, name), getattr(cold, name), err_msg=f"pairs.{name}"
+        )
+    assert spliced.n_cells == cold.n_cells
+    assert spliced.n_totals == cold.n_totals
+    np.testing.assert_array_equal(
+        canonical_labels(spliced.cell_index), canonical_labels(cold.cell_index)
+    )
+    np.testing.assert_array_equal(
+        canonical_labels(spliced.total_index), canonical_labels(cold.total_index)
+    )
+    # Stable claimant ids decode back to the current ids: the key sets match.
+    nv = max(len(col.values), 1)
+    current_of_stable = np.full(spliced.n_stable, -1, dtype=np.int64)
+    current_of_stable[spliced.claimant_stable] = np.arange(col.n_claimants)
+    cells = spliced.cells
+    translated_cells = (
+        current_of_stable[cells // (nv * nv)] * (nv * nv) + cells % (nv * nv)
+    )
+    np.testing.assert_array_equal(np.sort(translated_cells), cold.cells)
+    translated_totals = (
+        current_of_stable[spliced.totals // nv] * nv + spliced.totals % nv
+    )
+    np.testing.assert_array_equal(np.sort(translated_totals), cold.totals)
+
+
+def _count_pair_builds(monkeypatch):
+    """Patch PairExpansion.__init__ to count cold factorizations."""
+    from repro.data.columnar import PairExpansion
+
+    counter = {"builds": 0}
+    original = PairExpansion.__init__
+
+    def counting(self, col):
+        counter["builds"] += 1
+        original(self, col)
+
+    monkeypatch.setattr(PairExpansion, "__init__", counting)
+    return counter
+
+
+def test_version_stable_encoding_reuses_cached_expansion(monkeypatch):
+    """Satellite regression: fits with no mutation in between must reuse the
+    cached claim x candidate expansion — zero rebuilds, same object."""
+    ds = make_birthplaces(size=250, seed=7)
+    col = ds.columnar()
+    first = col.pairs
+    counter = _count_pair_builds(monkeypatch)
+    assert ds.columnar() is col
+    assert ds.columnar().pairs is first  # same encoding -> same expansion
+    model = TDHModel(max_iter=3, use_columnar=True)
+    model.fit(ds)
+    model.fit(ds)  # back-to-back fits, no mutation
+    assert ds.columnar().pairs is first
+    assert counter["builds"] == 0
+
+
+def test_answers_only_append_splices_instead_of_rebuilding(monkeypatch):
+    """The crowdsourcing hot path: appending answers from known workers must
+    carry the expansion across the appender splice with no np.unique pass."""
+    ds = make_birthplaces(size=250, seed=7)
+    rng = np.random.default_rng(1)
+    # Introduce the worker panel first, so later rounds add no claimants.
+    for i, obj in enumerate(ds.objects[:6]):
+        ds.add_answer(Answer(obj, f"w{i % 3}", ds.candidates(obj)[0]))
+    col = ds.columnar()
+    _ = col.pairs
+    counter = _count_pair_builds(monkeypatch)
+    for i, obj in enumerate(ds.objects[10:60]):
+        cands = ds.candidates(obj)
+        ds.add_answer(Answer(obj, f"w{i % 3}", cands[int(rng.integers(len(cands)))]))
+    appended = ds.columnar()
+    assert appended is not col
+    assert appended._pairs is not None  # spliced eagerly, not rebuilt lazily
+    assert counter["builds"] == 0
+    assert_pairs_equal(appended.pairs, ColumnarClaims(ds).pairs, appended)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_pair_splice_matches_cold_under_random_interleavings(seed):
+    """Property test: whatever interleaving of appends hits the encoding,
+    the maintained expansion equals a cold factorization at every
+    checkpoint — whether it was spliced or (on renumbering / slot growth /
+    overwrites) rebuilt."""
+    rng = np.random.default_rng(seed)
+    tree = make_tree()
+    values = tree_values(tree)
+    ds = TruthDiscoveryDataset(tree, [Record("o0", "s0", values[0])])
+    _ = ds.columnar().pairs
+    for step in range(60):
+        obj = f"o{int(rng.integers(8))}"
+        roll = rng.random()
+        if roll < 0.55 and obj in ds._records_by_object:
+            cands = ds.candidates(obj)
+            ds.add_answer(
+                Answer(obj, f"w{int(rng.integers(4))}", cands[int(rng.integers(len(cands)))])
+            )
+        else:
+            # Fresh source per step: a genuine append (an in-place overwrite
+            # changing an existing source's value can strand earlier answers
+            # outside Vo, which no encoding — cold or spliced — can express).
+            ds.add_record(
+                Record(obj, f"s{step}", values[int(rng.integers(len(values)))])
+            )
+        if rng.random() < 0.3:
+            col_now = ds.columnar()
+            assert_pairs_equal(col_now.pairs, ColumnarClaims(ds).pairs, col_now)
+    col_now = ds.columnar()
+    assert_pairs_equal(col_now.pairs, ColumnarClaims(ds).pairs, col_now)
+
+
+def test_claimant_renumbering_splices_through_key_permutation(monkeypatch):
+    """An insert that re-ranks the claimant decode table (a brand-new worker
+    answering the very first object) is still spliced: claimant ids only
+    enter the expansion through the confusion keys, and the renumbering is
+    applied as a permutation of the (small) key tables."""
+    ds = make_birthplaces(size=120, seed=7)
+    col = ds.columnar()
+    _ = col.pairs
+    counter = _count_pair_builds(monkeypatch)
+    first_obj = ds.objects[0]
+    ds.add_answer(Answer(first_obj, "brand_new_worker", ds.candidates(first_obj)[0]))
+    appended = ds.columnar()
+    assert appended.claimants != col.claimants + [("worker", "brand_new_worker")]
+    assert appended._pairs is not None
+    assert counter["builds"] == 0
+    assert_pairs_equal(appended.pairs, ColumnarClaims(ds).pairs, appended)
+
+
+def test_new_candidate_value_falls_back_to_cold_factorization():
+    """The delta the splice cannot express — a record growing a candidate
+    set moves every later slot — drops the cached expansion and rebuilds it
+    lazily (still equal to cold)."""
+    ds = make_birthplaces(size=120, seed=7)
+    col = ds.columnar()
+    _ = col.pairs
+    first_obj = ds.objects[0]
+    tree_value = next(
+        v for v in ds.hierarchy.non_root_nodes()
+        if v not in ds.candidates(first_obj)
+    )
+    ds.add_record(Record(first_obj, ds.sources_of(first_obj)[0] + "_alt", tree_value))
+    grown = ds.columnar()
+    assert grown._pairs is None
+    assert_pairs_equal(grown.pairs, ColumnarClaims(ds).pairs, grown)

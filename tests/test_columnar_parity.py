@@ -395,3 +395,61 @@ def test_engine_resolution(table1_dataset):
     assert resolve_engine("auto", big_enough) is True
     with pytest.raises(ValueError):
         resolve_engine("fastest", small)
+
+
+# ---------------------------------------------------------------------------
+# QASCA assignment: the flat-state quality measure vs the dict path
+# ---------------------------------------------------------------------------
+def test_qasca_assignment_parity(dataset):
+    """Both QASCA engines draw the same samples and produce identical
+    assignments when consuming a columnar TDH fit; a reference fit (no flat
+    EM state) keeps both on the dict oracle path."""
+    from repro.assignment import QascaAssigner
+    from repro.crowd.workers import make_worker_pool
+
+    workers = [w.worker_id for w in make_worker_pool(6, seed=2)]
+    result = _fit_tdh(dataset, True)
+    a_col = QascaAssigner(seed=5, use_columnar=True).assign(dataset, result, workers, 5)
+    a_ref = QascaAssigner(seed=5, use_columnar=False).assign(dataset, result, workers, 5)
+    assert a_col == a_ref
+
+    reference_fit = _fit_tdh(dataset, False)
+    assigner = QascaAssigner(seed=5, use_columnar=True)
+    assert assigner._activate_state(dataset, reference_fit) is None  # oracle path
+    assert assigner.assign(dataset, reference_fit, workers, 5) == QascaAssigner(
+        seed=5, use_columnar=False
+    ).assign(dataset, reference_fit, workers, 5)
+
+
+def test_qasca_improvement_values_identical(dataset):
+    """The sampled improvement scores themselves — not just the ranking —
+    must match bit for bit (same normalised mu, same likelihood, same rng
+    consumption)."""
+    from repro.assignment import QascaAssigner
+
+    result = _fit_tdh(dataset, True)
+    col_assigner = QascaAssigner(seed=9, use_columnar=True)
+    ref_assigner = QascaAssigner(seed=9, use_columnar=False)
+    assert col_assigner._activate_state(dataset, result) is not None
+    ref_assigner._activate_state(dataset, result)
+    for obj in dataset.objects[:60]:
+        assert col_assigner.improvement(dataset, result, obj, "w0") == ref_assigner.improvement(
+            dataset, result, obj, "w0"
+        )
+
+
+def test_qasca_refuses_stale_columnar_state(dataset):
+    """Mutating the dataset after the fit invalidates the flat state: the
+    columnar engine must refuse and fall back to the dict path (which is
+    what the reference engine runs anyway), keeping engines identical."""
+    from repro.assignment import QascaAssigner
+
+    working = dataset.copy()
+    result = _fit_tdh(working, True)
+    obj = working.objects[0]
+    working.add_answer(Answer(obj, "late_worker", working.candidates(obj)[0]))
+    assigner = QascaAssigner(seed=0, use_columnar=True)
+    assert assigner._activate_state(working, result) is None
+    assert assigner.assign(working, result, ["w0", "w1"], 3) == QascaAssigner(
+        seed=0, use_columnar=False
+    ).assign(working, result, ["w0", "w1"], 3)

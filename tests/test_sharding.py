@@ -1,0 +1,256 @@
+"""Sharded parallel E/M: object-range shards must change *nothing*.
+
+The contract under test (see :mod:`repro.data.sharding`) is stronger than
+the 1e-8 engine-parity bar: for every shard count K and every backend, the
+sharded columnar fits produce **bitwise-identical** confidences, truths,
+iteration counts and per-claimant state, because per-object work never
+crosses a shard boundary and cross-shard reductions run globally on
+concatenated per-claim arrays in the original order. K=7 on a ~100-object
+hierarchical dataset guarantees shard boundaries that split hierarchy
+subtrees (objects whose candidate ancestors live in the same tree but whose
+neighbours land in other shards).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.workers import make_worker_pool
+from repro.data.model import Answer, Record, TruthDiscoveryDataset
+from repro.data.sharding import (
+    ColumnarShard,
+    ColumnarShards,
+    ParallelExecutor,
+    parallel_plan,
+    resolve_jobs,
+)
+from repro.datasets import make_birthplaces, make_heritages
+from repro.hierarchy.tree import Hierarchy
+from repro.inference import Crh, DawidSkene, Lfc, TDHModel, ZenCrowd
+
+ALGORITHMS = {
+    "TDH": lambda **kw: TDHModel(max_iter=10, use_columnar=True, **kw),
+    "DS": lambda **kw: DawidSkene(max_iter=10, use_columnar=True, **kw),
+    "ZENCROWD": lambda **kw: ZenCrowd(max_iter=10, use_columnar=True, **kw),
+    "LFC": lambda **kw: Lfc(max_iter=10, use_columnar=True, **kw),
+    "CRH": lambda **kw: Crh(max_iter=10, use_columnar=True, **kw),
+}
+
+
+def _with_answers(dataset, n_workers=5, per_worker=30, seed=0):
+    rng = np.random.default_rng(seed)
+    objects = dataset.objects
+    for worker in make_worker_pool(n_workers, seed=3):
+        picks = rng.choice(len(objects), size=min(per_worker, len(objects)), replace=False)
+        for i in picks:
+            obj = objects[int(i)]
+            dataset.add_answer(Answer(obj, worker.worker_id, worker.answer(dataset, obj, rng)))
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def birthplaces():
+    return _with_answers(make_birthplaces(size=300, seed=7))
+
+
+@pytest.fixture(scope="module")
+def heritages():
+    # Hierarchical candidate sets (deep heritage taxonomy): with K=7 the
+    # object ranges cut straight through hierarchy subtrees — the case the
+    # ISSUE calls out — because consecutive objects share ancestor values.
+    return make_heritages(size=110, n_sources=200, seed=11)
+
+
+# ---------------------------------------------------------------------------
+# shard views
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("k", [1, 2, 7])
+def test_shard_views_reassemble_the_encoding(birthplaces, k):
+    col = birthplaces.columnar()
+    shards = col.shards(k)
+    assert isinstance(shards, ColumnarShards)
+    assert col.shards(k) is shards  # cached per encoding
+    assert shards[0].obj_lo == 0 and shards[-1].obj_hi == col.n_objects
+    for prev, nxt in zip(shards, list(shards)[1:]):
+        assert prev.obj_hi == nxt.obj_lo  # contiguous, gapless
+
+    # Rebasing the local views back to global coordinates must reproduce
+    # every claim-table array exactly.
+    assert np.array_equal(
+        np.concatenate([s.claim_slot + s.slot_lo for s in shards]), col.claim_slot
+    )
+    assert np.array_equal(
+        np.concatenate([s.claim_obj + s.obj_lo for s in shards]), col.claim_obj
+    )
+    assert np.array_equal(
+        np.concatenate([s.claim_claimant for s in shards]), col.claim_claimant
+    )
+    assert np.array_equal(
+        np.concatenate([s.slot_vid for s in shards]), col.slot_vid
+    )
+    sizes = np.concatenate([s.sizes for s in shards])
+    assert np.array_equal(sizes, col.sizes)
+
+    # Pair slices cover the expansion without overlap, in order.
+    shards.ensure_pairs()
+    assert shards[0].pair_lo == 0
+    assert shards[-1].pair_hi == len(col.pairs.pair_claim)
+    assert np.array_equal(
+        np.concatenate([s.pair_slot + s.slot_lo for s in shards]),
+        col.pairs.pair_slot,
+    )
+
+    # Hierarchy CSR slices: local Go(v) entries rebased back equal the
+    # global slot-level arrays (Euler/value-level tables are shared).
+    hier = col.hierarchy
+    assert np.array_equal(
+        np.concatenate([s.slot_anc_slots + s.slot_lo for s in shards]),
+        hier.slot_anc_slots,
+    )
+    assert sum(len(s.slot_anc_offsets) - 1 for s in shards) == col.n_slots
+    assert shards[0].hierarchy is hier
+
+
+def test_shard_boundary_splits_hierarchy_subtree():
+    """Force a boundary through the middle of one hierarchy subtree: objects
+    claiming ancestor/descendant values of the same chain land in different
+    shards, and TDH still reproduces the unsharded fit bit for bit."""
+    tree = Hierarchy()
+    tree.add_path(["World", "Europe", "France", "Paris"])
+    tree.add_path(["World", "Europe", "Germany", "Berlin"])
+    tree.add_path(["World", "Asia", "Japan", "Tokyo"])
+    records = []
+    values = ["Europe", "France", "Paris", "Germany", "Berlin", "Asia", "Japan", "Tokyo"]
+    for i in range(12):
+        chain = ["Paris", "France", "Europe"] if i % 2 == 0 else ["Berlin", "Germany", "Europe"]
+        for j, source in enumerate(["s0", "s1", "s2", "s3"]):
+            records.append(Record(f"o{i}", source, chain[j % 3]))
+        records.append(Record(f"o{i}", "s4", values[(i + 5) % len(values)]))
+    dataset = TruthDiscoveryDataset(tree, records)
+
+    col = dataset.columnar()
+    shards = col.shards(5)
+    # The split really does separate objects of the same subtree: some
+    # boundary has candidate values in an ancestor-descendant relationship
+    # across it (every object claims within the Europe chain).
+    assert len(shards) > 1
+    boundary_objs = [dataset.objects[s.obj_lo] for s in list(shards)[1:]]
+    assert any(
+        set(dataset.candidates(obj)) & {"Europe", "France", "Germany"}
+        for obj in boundary_objs
+    )
+
+    base = TDHModel(max_iter=12, use_columnar=True).fit(dataset)
+    sharded = TDHModel(max_iter=12, use_columnar=True, shards=5).fit(dataset)
+    assert sharded.truths() == base.truths()
+    for obj in dataset.objects:
+        assert np.array_equal(sharded.confidences[obj], base.confidences[obj])
+
+
+# ---------------------------------------------------------------------------
+# bitwise parity of the sharded fits
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("k", [1, 2, 7])
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+def test_sharded_fit_bitwise_equal(birthplaces, heritages, algo, k):
+    for dataset in (birthplaces, heritages):
+        base = ALGORITHMS[algo]().fit(dataset)
+        sharded = ALGORITHMS[algo](shards=k, n_jobs=1).fit(dataset)
+        assert sharded.iterations == base.iterations
+        assert sharded.converged == base.converged
+        assert sharded.truths() == base.truths()
+        for obj in dataset.objects:
+            assert np.array_equal(
+                sharded.confidences[obj], base.confidences[obj]
+            ), f"{algo} K={k} diverges on {obj!r}"
+
+
+def test_sharded_tdh_trust_state_bitwise_equal(birthplaces):
+    base = TDHModel(max_iter=10, use_columnar=True).fit(birthplaces)
+    sharded = TDHModel(max_iter=10, use_columnar=True, shards=7).fit(birthplaces)
+    assert set(sharded.phi) == set(base.phi) and set(sharded.psi) == set(base.psi)
+    for source, vec in base.phi.items():
+        assert np.array_equal(sharded.phi[source], vec)
+    for worker, vec in base.psi.items():
+        assert np.array_equal(sharded.psi[worker], vec)
+    # The EM state the EAI assigner consumes is equally untouched.
+    for obj in birthplaces.objects:
+        assert np.array_equal(sharded.numerators[obj], base.numerators[obj])
+        assert sharded.denominators[obj] == base.denominators[obj]
+
+
+def test_sharded_claimant_state_bitwise_equal(birthplaces):
+    base_z = ZenCrowd(max_iter=10, use_columnar=True).fit(birthplaces)
+    shard_z = ZenCrowd(max_iter=10, use_columnar=True, shards=7).fit(birthplaces)
+    assert shard_z.reliability == base_z.reliability
+    base_c = Crh(max_iter=10, use_columnar=True).fit(birthplaces)
+    shard_c = Crh(max_iter=10, use_columnar=True, shards=7).fit(birthplaces)
+    assert shard_c.source_weights == base_c.source_weights
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_parallel_backends_bitwise_equal(birthplaces, backend):
+    if backend == "process":
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("process backend requires the fork start method")
+    base = TDHModel(max_iter=8, use_columnar=True).fit(birthplaces)
+    parallel = TDHModel(
+        max_iter=8, use_columnar=True, n_jobs=2, shards=4, parallel_backend=backend
+    ).fit(birthplaces)
+    assert parallel.iterations == base.iterations
+    for obj in birthplaces.objects:
+        assert np.array_equal(parallel.confidences[obj], base.confidences[obj])
+
+
+# ---------------------------------------------------------------------------
+# executor mechanics and knob plumbing
+# ---------------------------------------------------------------------------
+def test_resolve_jobs_conventions():
+    import os
+
+    cores = os.cpu_count() or 1
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(-1) == cores
+    assert resolve_jobs(-cores - 5) == 1  # floored
+
+
+def test_executor_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="backend"):
+        ParallelExecutor(2, backend="fibers")
+
+
+def test_executor_session_validates_consts_length(birthplaces):
+    col = birthplaces.columnar()
+    shards = col.shards(3)
+    with pytest.raises(ValueError, match="consts"):
+        ParallelExecutor(1).session(shards, [{}])
+
+
+def test_parallel_plan_clamps_to_object_count():
+    tree = Hierarchy()
+    tree.add_path(["root", "a"])
+    tree.add_path(["root", "b"])
+    dataset = TruthDiscoveryDataset(
+        tree, [Record("o1", "s1", "a"), Record("o1", "s2", "b"), Record("o2", "s1", "b")]
+    )
+    shards, executor = parallel_plan(dataset.columnar(), n_jobs=16)
+    assert 1 <= len(shards) <= 2  # never more shards than objects
+    assert executor.n_jobs == 16
+    single = ColumnarShard(dataset.columnar(), 0, dataset.columnar().n_objects)
+    assert single.n_claims == 3
+
+
+def test_factories_and_cli_thread_jobs():
+    from repro.experiments.common import FAST, inference_factories
+    from repro.experiments.__main__ import build_parser
+
+    factories = inference_factories(FAST, engine="columnar", n_jobs=3)
+    for name in ("TDH", "LFC", "CRH"):
+        assert factories[name]().n_jobs == 3
+    args = build_parser().parse_args(["fig12", "--engine", "columnar", "--jobs", "4"])
+    assert args.jobs == 4
