@@ -136,6 +136,13 @@ class CrowdSimulator:
             return self.model.fit(
                 self.dataset, warm_start=warm, structures=self._structure_cache
             )
+        if getattr(self.model, "supports_incremental", False):
+            # Confusion-family models (DS/LFC/ZenCrowd) accept warm_start=;
+            # with their incremental knob on, each round re-converges only
+            # the dirty frontier of the previous round's result. The warm
+            # gate passes because the simulator fits its own private copy
+            # and answers never bump records_version.
+            return self.model.fit(self.dataset, warm_start=self._previous_result)
         return self.model.fit(self.dataset)
 
     def _collect(self, assignment: Assignment) -> int:

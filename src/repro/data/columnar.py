@@ -115,6 +115,87 @@ def csr_expand(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return np.repeat(starts, counts) + within
 
 
+class ClaimantObjectsIndex:
+    """Claimant -> objects CSR: the inverse of the claim table's object axis.
+
+    ``objects[offsets[cid]:offsets[cid + 1]]`` lists the object ids claimed
+    by claimant ``cid``, ascending (the functional setting guarantees one
+    claim per ``(object, claimant)`` pair, so the lists are duplicate-free).
+    This is the adjacency the dirty-object *frontier* walks: an appended
+    answer to object ``o`` can move the trust of every claimant of ``o``,
+    which in turn can move the posteriors of every other object those
+    claimants touched — exactly one CSR gather away.
+
+    Built once per encoding (:attr:`ColumnarClaims.claimant_objects`) and
+    spliced forward by :meth:`ColumnarAppender.extend` so crowdsourcing
+    rounds never pay the O(claims log claims) group-by again.
+    """
+
+    def __init__(self, offsets: np.ndarray, objects: np.ndarray) -> None:
+        self.offsets = offsets
+        self.objects = objects
+
+    @classmethod
+    def build(cls, col: "ColumnarClaims") -> "ClaimantObjectsIndex":
+        order = np.argsort(col.claim_claimant, kind="stable")
+        counts = np.bincount(col.claim_claimant, minlength=col.n_claimants)
+        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        # Claims are grouped by ascending object, so the stable sort leaves
+        # each claimant's objects ascending — the invariant `spliced` keeps.
+        return cls(offsets, col.claim_obj[order])
+
+    @classmethod
+    def spliced(
+        cls,
+        old: "ClaimantObjectsIndex",
+        n_claimants: int,
+        n_objects: int,
+        delta_cids: np.ndarray,
+        delta_oids: np.ndarray,
+        claimant_remap: Optional[np.ndarray] = None,
+    ) -> "ClaimantObjectsIndex":
+        """The index of the extended encoding, array-equal to a cold
+        :meth:`build`: existing groups are relocated with O(claims) C-level
+        copies (appended claimants become empty tail groups first, then the
+        renumbering permutes whole groups), and the delta entries are merged
+        into their groups at the sorted position via one ``np.insert``.
+        """
+        counts = np.diff(old.offsets)
+        n_old_groups = len(counts)
+        pad = n_claimants - n_old_groups
+        counts_full = np.concatenate([counts, np.zeros(pad, dtype=np.int64)])
+        objects = old.objects
+        if claimant_remap is not None:
+            starts_full = np.concatenate(
+                [old.offsets[:-1], np.full(pad, old.offsets[-1], dtype=np.int64)]
+            )
+            inv = np.empty_like(claimant_remap)
+            inv[claimant_remap] = np.arange(len(claimant_remap), dtype=np.int64)
+            counts_full = counts_full[inv]
+            objects = objects[csr_expand(starts_full[inv], counts_full)]
+        # Within-group ascending order makes (claimant, object) keys globally
+        # sorted, so every delta entry's insertion point is one searchsorted.
+        okey = (
+            np.repeat(np.arange(n_claimants, dtype=np.int64), counts_full) * n_objects
+            + objects
+        )
+        dorder = np.lexsort((delta_oids, delta_cids))
+        d_cid = np.asarray(delta_cids, dtype=np.int64)[dorder]
+        d_oid = np.asarray(delta_oids, dtype=np.int64)[dorder]
+        new_objects = np.insert(
+            objects, np.searchsorted(okey, d_cid * n_objects + d_oid), d_oid
+        )
+        new_counts = counts_full + np.bincount(d_cid, minlength=n_claimants)
+        new_offsets = np.concatenate(([0], np.cumsum(new_counts))).astype(np.int64)
+        return cls(new_offsets, new_objects)
+
+    def objects_of(self, cids: np.ndarray) -> np.ndarray:
+        """Concatenated object lists of ``cids`` (duplicates across claimants
+        possible; callers np.unique as needed)."""
+        counts = np.diff(self.offsets)
+        return self.objects[csr_expand(self.offsets[cids], counts[cids])]
+
+
 class PairExpansion:
     """The claim x candidate cross-join used by confusion-matrix EM steps.
 
@@ -421,6 +502,101 @@ class SegmentOps:
         )
 
 
+class FrontierView(SegmentOps):
+    """Local-coordinate view of an arbitrary (sorted) object subset.
+
+    Where :class:`~repro.data.sharding.ColumnarShard` slices a *contiguous*
+    object range, a frontier is scattered across the corpus — so this view
+    gathers the subset's slot and claim rows into dense local arrays and
+    remembers the global indices (:attr:`slot_ids` / :attr:`claim_ids`) to
+    scatter results back. It exposes the same :class:`SegmentOps` surface
+    plus the pair-level arrays the EM kernels consume, which lets the
+    incremental fits run the *unmodified* shard kernels
+    (``_tdh_estep_kernel``, ``_confusion_estep_kernel``,
+    ``_zencrowd_estep_kernel``) over just the frontier: ``slot_lo``/
+    ``slot_hi`` span the whole local array, ``claim_claimant`` stays global
+    (trust/reliability vectors are indexed by global claimant id), and
+    everything segment-shaped is local.
+
+    The per-claim candidate cross-join is rebuilt locally in O(frontier
+    pairs); the confusion-cell ids (:attr:`cell_index` / :attr:`total_index`)
+    are *gathered* from the full :class:`PairExpansion` via :attr:`pair_rows`
+    on first use, so they share the global tables' id space — required for
+    patching the previous round's cell reductions in place.
+    """
+
+    def __init__(self, col: "ColumnarClaims", obj_ids: np.ndarray) -> None:
+        self.col = col
+        o = np.asarray(obj_ids, dtype=np.int64)
+        self.obj_ids = o
+        self.sizes = col.sizes[o]
+        self.value_offsets = np.concatenate(([0], np.cumsum(self.sizes))).astype(
+            np.int64
+        )
+        n_local = len(o)
+        self.slot_obj = np.repeat(np.arange(n_local, dtype=np.int64), self.sizes)
+        #: Local slot -> global slot (the scatter-back index).
+        self.slot_ids = csr_expand(col.value_offsets[o], self.sizes)
+
+        claim_counts = np.diff(col.claim_offsets)[o]
+        #: Local claim -> global claim-table row.
+        self.claim_ids = csr_expand(col.claim_offsets[o], claim_counts)
+        self.claim_obj = np.repeat(np.arange(n_local, dtype=np.int64), claim_counts)
+        self.claim_claimant = col.claim_claimant[self.claim_ids]
+        self.claim_is_answer = col.claim_is_answer[self.claim_ids]
+        self.claim_slot = (
+            self.value_offsets[self.claim_obj] + col.claim_pos[self.claim_ids]
+        )
+
+        sizes_per_claim = self.sizes[self.claim_obj]
+        self.pair_claim = np.repeat(
+            np.arange(len(self.claim_ids), dtype=np.int64), sizes_per_claim
+        )
+        self.pair_slot = csr_expand(self.value_offsets[self.claim_obj], sizes_per_claim)
+        self.pair_size = sizes_per_claim[self.pair_claim].astype(np.float64)
+        self.pair_is_claimed = self.pair_slot == self.claim_slot[self.pair_claim]
+
+        self.slot_lo = 0
+        self.slot_hi = int(self.value_offsets[-1])
+        self._pair_rows: Optional[np.ndarray] = None
+        self._cell_index: Optional[np.ndarray] = None
+        self._total_index: Optional[np.ndarray] = None
+
+    @property
+    def n_claims(self) -> int:
+        return len(self.claim_ids)
+
+    @property
+    def pair_rows(self) -> np.ndarray:
+        """Global :class:`PairExpansion` rows of this view's pairs (pairs are
+        laid out claim-major in both, so the rows are each local claim's
+        contiguous global run)."""
+        if self._pair_rows is None:
+            col = self.col
+            global_sizes = col.sizes[col.claim_obj]
+            pair_offsets = np.concatenate(([0], np.cumsum(global_sizes))).astype(
+                np.int64
+            )
+            self._pair_rows = csr_expand(
+                pair_offsets[self.claim_ids], global_sizes[self.claim_ids]
+            )
+        return self._pair_rows
+
+    @property
+    def cell_index(self) -> np.ndarray:
+        """Global confusion-cell id per local pair (forces ``col.pairs``)."""
+        if self._cell_index is None:
+            self._cell_index = self.col.pairs.cell_index[self.pair_rows]
+        return self._cell_index
+
+    @property
+    def total_index(self) -> np.ndarray:
+        """Global confusion-marginal id per local pair."""
+        if self._total_index is None:
+            self._total_index = self.col.pairs.total_index[self.pair_rows]
+        return self._total_index
+
+
 class ColumnarClaims(SegmentOps):
     """Flat integer-array view of a :class:`TruthDiscoveryDataset`.
 
@@ -557,6 +733,7 @@ class ColumnarClaims(SegmentOps):
         self._pairs: Optional[PairExpansion] = None
         self._slot_pairs: Optional[SlotPairExpansion] = None
         self._hierarchy: Optional["ColumnarHierarchy"] = None
+        self._claimant_objects: Optional[ClaimantObjectsIndex] = None
         # Appender bookkeeping: first-occurrence row per claimant / first slot
         # per value (maintained across appends so id renumbering stays
         # O(delta + tables)); a reusable Euler tour.
@@ -592,6 +769,49 @@ class ColumnarClaims(SegmentOps):
         if self._slot_pairs is None:
             self._slot_pairs = SlotPairExpansion(self)
         return self._slot_pairs
+
+    @property
+    def claimant_objects(self) -> ClaimantObjectsIndex:
+        """The claimant -> objects CSR, built on first use and cached (and
+        spliced forward across :class:`ColumnarAppender` extensions)."""
+        if self._claimant_objects is None:
+            self._claimant_objects = ClaimantObjectsIndex.build(self)
+        return self._claimant_objects
+
+    def frontier(self, dirty_oids: np.ndarray, hops: int = 1) -> np.ndarray:
+        """The dirty-object frontier: object ids whose posteriors an
+        incremental EM must re-converge after ``dirty_oids`` changed.
+
+        One hop unions the dirty objects with every object sharing a claimant
+        with one of them — the set whose E-step inputs move when the touched
+        claimants' trust moves. ``hops`` expands transitively (hop ``h``
+        covers trust drift reaching ``h`` claimant links away); ``hops=0``
+        returns the dirty set itself. Expansion stops early at a fixed point
+        or when the frontier saturates to the whole corpus (callers treat
+        saturation as "run a full fit"). Returns sorted unique object ids.
+        """
+        frontier = np.unique(np.asarray(dirty_oids, dtype=np.int64))
+        if len(frontier) and (frontier[0] < 0 or frontier[-1] >= self.n_objects):
+            raise IndexError("dirty object id out of range")
+        index = None
+        claim_counts = None
+        for _ in range(max(int(hops), 0)):
+            if len(frontier) >= self.n_objects:
+                break
+            if index is None:
+                index = self.claimant_objects
+                claim_counts = np.diff(self.claim_offsets)
+            rows = csr_expand(
+                self.claim_offsets[frontier], claim_counts[frontier]
+            )
+            cids = np.unique(self.claim_claimant[rows])
+            grown = np.unique(
+                np.concatenate([frontier, index.objects_of(cids)])
+            )
+            if len(grown) == len(frontier):
+                break
+            frontier = grown
+        return frontier
 
     @property
     def hierarchy(self) -> "ColumnarHierarchy":
@@ -693,9 +913,15 @@ class ColumnarClaims(SegmentOps):
         that :class:`~repro.inference.base.InferenceResult` expects.
 
         The per-object arrays are views into ``flat`` (no copies); callers
-        own ``flat`` by construction, so aliasing is safe.
+        own ``flat`` by construction, so aliasing is safe. Sliced directly
+        rather than through ``np.split``, whose per-segment ``swapaxes``
+        bookkeeping dominates at tens of thousands of objects.
         """
-        return dict(zip(self.objects, np.split(flat, self.value_offsets[1:-1])))
+        offsets = self.value_offsets
+        return {
+            obj: flat[offsets[oid] : offsets[oid + 1]]
+            for oid, obj in enumerate(self.objects)
+        }
 
     def claimant_mapping(self, values: np.ndarray) -> Dict[ClaimantKey, float]:
         """Zip a per-claimant array into a ``claimant -> value`` dict."""
@@ -1300,6 +1526,20 @@ class ColumnarAppender:
             )
         else:
             new._pairs = None
+        # The claimant -> objects CSR is slot-independent, so a built index
+        # is spliced forward on every append (the frontier computation of
+        # the incremental EM fits relies on this staying O(delta + tables)).
+        if col._claimant_objects is not None:
+            new._claimant_objects = ClaimantObjectsIndex.spliced(
+                col._claimant_objects,
+                len(claimants),
+                n_obj_new,
+                claim_claimant[final_ins],
+                claim_obj[final_ins],
+                claimant_remap=claimant_remap,
+            )
+        else:
+            new._claimant_objects = None
         new._slot_pairs = slot_pairs
         new._hierarchy = hierarchy
         new._claimant_first = first
@@ -1307,3 +1547,43 @@ class ColumnarAppender:
         new._tour_hint = tour_hint
         new._lineage_token = getattr(dataset, "_lineage", None)
         return new
+
+
+def incremental_frontier(
+    dataset: "TruthDiscoveryDataset",
+    prev_col: Optional[ColumnarClaims],
+    hops: int = 1,
+) -> Optional[Tuple[ColumnarClaims, np.ndarray, List[tuple]]]:
+    """The shared guard chain of the incremental EM fits.
+
+    Decides whether the delta between ``prev_col`` (the encoding a previous
+    fit ran on) and ``dataset``'s current state is servable incrementally,
+    and if so computes the dirty-object frontier. Returns ``(col, frontier,
+    ops)`` — the current encoding, sorted frontier object ids, and the
+    appendable ops of the window — or ``None`` when the fit must run cold:
+
+    * ``prev_col`` is missing or belongs to another dataset's lineage;
+    * the op window is unservable (overwrite poisoned the log, or the
+      ``MAX_OPLOG`` cap trimmed past ``prev_col.version`` — the
+      ``_oplog_base`` check);
+    * the slot layout moved (an append introduced objects or candidate
+      slots, so per-slot state from the previous fit no longer aligns).
+
+    The ops are captured **before** ``dataset.columnar()`` — that call
+    curtails the log to the current version, which would empty the window.
+    A saturated frontier (every object dirty-adjacent) is returned as-is;
+    callers delegate to their full columnar fit for exact parity.
+    """
+    if prev_col is None or not dataset._owns_encoding(prev_col):
+        return None
+    delta = dataset.dirty_objects_since(prev_col.version)
+    if delta is None:
+        return None
+    dirty_objects, ops = delta
+    col = dataset.columnar()
+    if col.n_objects != prev_col.n_objects or col.n_slots != prev_col.n_slots:
+        return None
+    dirty = np.asarray(
+        [col.object_index[obj] for obj in dirty_objects], dtype=np.int64
+    )
+    return col, col.frontier(dirty, hops=hops), ops

@@ -233,6 +233,27 @@ class TruthDiscoveryDataset:
         ops = self._oplog[version - self._oplog_base:]
         return [op for op in ops if op[0] != "noop"]
 
+    def dirty_objects_since(
+        self, version: int
+    ) -> Optional[Tuple[List[ObjectId], List[tuple]]]:
+        """Objects touched by appendable mutations in ``(version, _version]``.
+
+        The oplog -> dirty-object extraction behind the incremental EM fits:
+        returns ``(objects, ops)`` with the touched objects in first-touch
+        order and the raw appendable ops of the window, or ``None`` when the
+        window is unservable (same rules as :meth:`_ops_since` — logging not
+        started, an in-place overwrite poisoned the window, or the
+        ``MAX_OPLOG`` cap trimmed past ``version``). Every returned op is a
+        genuine append of a new ``(object, claimant)`` claim.
+        """
+        ops = self._ops_since(version)
+        if ops is None:
+            return None
+        seen: Dict[ObjectId, None] = {}
+        for op in ops:
+            seen.setdefault(op[1], None)
+        return list(seen), ops
+
     def _owns_encoding(self, col) -> bool:
         """Whether ``col`` is a snapshot of *this* dataset's history.
 

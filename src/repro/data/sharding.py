@@ -58,6 +58,7 @@ the ``state`` dict rather than closures.
 from __future__ import annotations
 
 import importlib
+import logging
 import os
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -71,7 +72,46 @@ from .columnar import ColumnarClaims, SegmentOps
 #: process backend; smaller ones ride the (cheaper) pickle of the task.
 SHM_MIN_BYTES = 1 << 15
 
+#: Below this many claims the per-iteration kernel work is smaller than the
+#: pool dispatch overhead (ROADMAP: 0.05-0.42x on tiny shards), so
+#: ``backend="auto"`` picks serial.
+AUTO_MIN_PARALLEL_CLAIMS = 8192
+
+_log = logging.getLogger(__name__)
+#: One-shot flag so the auto->serial downgrade is logged once per process,
+#: not once per EM fit inside a crowd-round loop.
+_auto_downgrade_logged = False
+
 Kernel = Callable[["ColumnarShard", Dict[str, Any], Dict[str, Any]], Any]
+
+
+def resolve_backend(backend: str, n_claims: Optional[int] = None) -> str:
+    """Resolve the ``"auto"`` backend knob to a concrete backend.
+
+    Non-``"auto"`` values pass through untouched. ``"auto"`` picks
+    ``"serial"`` — logging the downgrade once — when the host has a single
+    core (``os.cpu_count() <= 1``: pools only add dispatch overhead there)
+    or when ``n_claims`` is below :data:`AUTO_MIN_PARALLEL_CLAIMS`;
+    otherwise it picks ``"thread"``, the GIL-releasing default.
+    """
+    global _auto_downgrade_logged
+    if backend != "auto":
+        return backend
+    cores = os.cpu_count() or 1
+    too_small = n_claims is not None and n_claims < AUTO_MIN_PARALLEL_CLAIMS
+    if cores <= 1 or too_small:
+        if not _auto_downgrade_logged:
+            reason = (
+                f"os.cpu_count()={cores}"
+                if cores <= 1
+                else f"{n_claims} claims < {AUTO_MIN_PARALLEL_CLAIMS}"
+            )
+            _log.info(
+                "parallel_backend='auto' downgraded to serial (%s)", reason
+            )
+            _auto_downgrade_logged = True
+        return "serial"
+    return "thread"
 
 
 def resolve_jobs(n_jobs: Optional[int]) -> int:
@@ -266,10 +306,12 @@ def parallel_plan(
     knob: ``shards`` overrides the shard count (default: one per worker),
     the worker count follows :func:`resolve_jobs`. ``shards=K, n_jobs=1``
     runs the sharded code path serially — the deterministic configuration
-    the bitwise-parity property tests pin down.
+    the bitwise-parity property tests pin down. ``backend="auto"`` resolves
+    via :func:`resolve_backend` against the encoding's claim count.
     """
     jobs = resolve_jobs(n_jobs)
     k = int(shards) if shards is not None else jobs
+    backend = resolve_backend(backend, col.n_claims)
     return col.shards(k), ParallelExecutor(jobs, backend=backend)
 
 
@@ -409,12 +451,16 @@ class ParallelExecutor:
 
     ``n_jobs <= 1`` always yields the serial backend. The process backend
     requires the ``fork`` start method (children must inherit the shard
-    arrays); elsewhere it degrades to threads with a warning.
+    arrays); elsewhere it degrades to threads with a warning. ``"auto"``
+    resolves via :func:`resolve_backend` (core count only — use
+    :func:`parallel_plan` to also weigh the workload size).
     """
 
     BACKENDS = ("serial", "thread", "process")
 
     def __init__(self, n_jobs: int = 1, backend: str = "thread") -> None:
+        if backend == "auto":
+            backend = resolve_backend(backend)
         if backend not in self.BACKENDS:
             raise ValueError(
                 f"backend must be one of {self.BACKENDS}; got {backend!r}"

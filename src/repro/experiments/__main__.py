@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
             " at any N"
         ),
     )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "warm-started dirty-frontier EM for the crowd-loop experiments:"
+            " each round re-converges only the objects touched by new"
+            " answers (TDH/LFC; columnar engine only, falls back to cold"
+            " fits whenever a delta cannot be served exactly)"
+        ),
+    )
     return parser
 
 
@@ -68,6 +78,8 @@ def main(argv=None) -> int:
             kwargs["engine"] = args.engine
         if "jobs" in parameters:
             kwargs["jobs"] = args.jobs
+        if "incremental" in parameters:
+            kwargs["incremental"] = args.incremental
         entry(**kwargs)
     return 0
 

@@ -14,13 +14,17 @@ from .crowd_runs import run_combos
 ASSIGNERS = ("EAI", "QASCA", "ME")
 
 
-def run(full: bool = False, engine: str = "auto", jobs: int = 1) -> Dict[str, Dict[str, list]]:
+def run(
+    full: bool = False, engine: str = "auto", jobs: int = 1,
+    incremental: bool = False,
+) -> Dict[str, Dict[str, list]]:
     """Per dataset: {"rounds": [...], "TDH+EAI": [accuracy...], ...}."""
     s = scale(full)
     out: Dict[str, Dict[str, list]] = {}
     for ds_name, dataset in both_datasets(s).items():
         histories = run_combos(
-            dataset, [("TDH", a) for a in ASSIGNERS], s, engine=engine, jobs=jobs
+            dataset, [("TDH", a) for a in ASSIGNERS], s, engine=engine,
+            jobs=jobs, incremental=incremental,
         )
         series: Dict[str, list] = {}
         rounds = None
@@ -31,8 +35,11 @@ def run(full: bool = False, engine: str = "auto", jobs: int = 1) -> Dict[str, Di
     return out
 
 
-def main(full: bool = False, engine: str = "auto", jobs: int = 1) -> None:
-    results = run(full, engine=engine, jobs=jobs)
+def main(
+    full: bool = False, engine: str = "auto", jobs: int = 1,
+    incremental: bool = False,
+) -> None:
+    results = run(full, engine=engine, jobs=jobs, incremental=incremental)
     for ds_name, data in results.items():
         rounds = data.pop("rounds")
         shown = {k: v[::5] for k, v in data.items()}

@@ -10,6 +10,7 @@ object via :meth:`InferenceResult.truth_sets`.
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Dict, Hashable, List, Mapping, Optional, Set
 
 import numpy as np
@@ -33,6 +34,10 @@ class InferenceResult:
         Optional fitting diagnostics.
     """
 
+    #: Number of objects re-converged by an incremental fit; ``None`` when
+    #: the result came from a full (cold or saturated-frontier) fit.
+    frontier_size: Optional[int] = None
+
     def __init__(
         self,
         dataset: TruthDiscoveryDataset,
@@ -42,10 +47,16 @@ class InferenceResult:
     ) -> None:
         self.dataset = dataset
         self.confidences: Dict[ObjectId, np.ndarray] = {
-            obj: np.asarray(vec, dtype=float) for obj, vec in confidences.items()
+            obj: vec
+            if type(vec) is np.ndarray and vec.dtype == np.float64
+            else np.asarray(vec, dtype=float)
+            for obj, vec in confidences.items()
         }
         self.iterations = iterations
         self.converged = converged
+        #: Record-mutation counter at fit time; half of the warm-start gate
+        #: (:func:`validate_warm_start`).
+        self.records_version = getattr(dataset, "_records_version", 0)
 
     def confidence(self, obj: ObjectId) -> Dict[Value, float]:
         """Normalised ``value -> confidence`` for ``obj``."""
@@ -93,6 +104,7 @@ class ColumnarInferenceResult(InferenceResult):
         self.flat = np.asarray(flat, dtype=float)
         self.iterations = iterations
         self.converged = converged
+        self.records_version = getattr(dataset, "_records_version", 0)
         self._confidences: Optional[Dict[ObjectId, np.ndarray]] = None
 
     @property
@@ -120,6 +132,11 @@ class TruthInferenceAlgorithm(abc.ABC):
 
     name: str = "base"
     supports_workers: bool = False
+    #: ``True`` when ``fit`` accepts ``warm_start=`` and (with the model's
+    #: ``incremental`` knob on) can re-converge only the dirty frontier of a
+    #: previous result — the round-loop callers key on this to thread the
+    #: previous round's result through.
+    supports_incremental: bool = False
 
     @abc.abstractmethod
     def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
@@ -127,6 +144,42 @@ class TruthInferenceAlgorithm(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_warm_start(
+    dataset: TruthDiscoveryDataset, warm_start: Optional[InferenceResult]
+) -> Optional[InferenceResult]:
+    """Refuse a warm start fitted on a different (cloned or mutated) dataset.
+
+    A previous result seeds trust/reliability/confidence state keyed by this
+    dataset's claimants and slot layout. Fitted on a *clone* — even a
+    claim-identical one — or on a record state that has since changed, those
+    keys silently mismatch (clones renumber independently; record appends
+    move candidate slots and popularity weights). The gate requires object
+    identity plus an unchanged ``records_version``; anything else degrades
+    to a cold start with a :class:`RuntimeWarning`. Answer appends keep the
+    record counter, so crowd rounds always pass.
+    """
+    if warm_start is None:
+        return None
+    if warm_start.dataset is not dataset:
+        warnings.warn(
+            "warm_start was fitted on a different dataset object (a clone?);"
+            " its claimant/slot keys cannot be trusted — degrading to a cold"
+            " start",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    if warm_start.records_version != getattr(dataset, "_records_version", 0):
+        warnings.warn(
+            "warm_start predates a record mutation of this dataset; candidate"
+            " sets may have changed — degrading to a cold start",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    return warm_start
 
 
 def initial_confidences(dataset: TruthDiscoveryDataset) -> Dict[ObjectId, np.ndarray]:

@@ -28,7 +28,7 @@ from typing import Dict, Hashable, Optional, Tuple, Union
 
 import numpy as np
 
-from ..data.columnar import resolve_engine
+from ..data.columnar import FrontierView, incremental_frontier, resolve_engine
 from ..data.model import ObjectId, TruthDiscoveryDataset
 from ..data.sharding import ColumnarShards, parallel_plan
 from ..hierarchy.tree import Value
@@ -37,6 +37,7 @@ from .base import (
     InferenceResult,
     TruthInferenceAlgorithm,
     initial_confidences,
+    validate_warm_start,
 )
 
 
@@ -94,6 +95,81 @@ def _zencrowd_estep_kernel(shard, consts, state):
     return posterior, posterior[shard.claim_slot], delta
 
 
+def _incremental_confusion_fit(model, dataset, warm, with_prior):
+    """Shared dirty-frontier fit for the confusion-E-step family (DS / LFC).
+
+    Re-converges only the frontier's posteriors, holding clean objects at the
+    warm-start values. The global confusion reductions are patched per
+    iteration as ``base + frontier``: ``base`` is one full-pair-table
+    bincount at the warm posteriors minus the frontier's contribution at the
+    same posteriors — computed once, O(claims); each EM iteration then only
+    re-reduces the frontier's pairs and runs the unmodified
+    :func:`_confusion_estep_kernel` over a
+    :class:`~repro.data.columnar.FrontierView`. Returns ``None`` when the
+    delta cannot be served (caller falls back to a cold fit), or delegates to
+    ``model._fit_columnar`` when the frontier saturates (bitwise parity).
+    """
+    if not isinstance(warm, ColumnarInferenceResult):
+        return None
+    plan = incremental_frontier(dataset, warm._columnar, hops=model.frontier_hops)
+    if plan is None:
+        return None
+    col, frontier, _ops = plan
+    if len(frontier) >= col.n_objects:
+        return model._fit_columnar(dataset)
+
+    pairs = col.pairs
+    fv = FrontierView(col, frontier)
+    mu = warm.flat.copy()
+    # Re-initialise the frontier's posteriors from vote proportions (the
+    # cold fit's starting point, now including the new answers) instead of
+    # the warm values: a converged posterior is near-one-hot, and with it
+    # as the E-step prior the appended answers can never overcome a
+    # ~log(1e-12) margin — the fit would "converge" in one iteration
+    # without moving. Clean objects stay frozen at the warm values.
+    mu_f = col.initial_confidences_flat()[fv.slot_ids]
+    w_all = mu[pairs.pair_slot]
+    base_cells = np.bincount(pairs.cell_index, weights=w_all, minlength=pairs.n_cells)
+    base_totals = np.bincount(
+        pairs.total_index, weights=w_all, minlength=pairs.n_totals
+    )
+    w_warm = mu[fv.slot_ids][fv.pair_slot]
+    base_cells -= np.bincount(fv.cell_index, weights=w_warm, minlength=pairs.n_cells)
+    base_totals -= np.bincount(
+        fv.total_index, weights=w_warm, minlength=pairs.n_totals
+    )
+
+    consts = {"with_prior": with_prior}
+    iterations = 0
+    converged = False
+    for iterations in range(1, model.max_iter + 1):
+        w_f = mu_f[fv.pair_slot]
+        cells = base_cells + np.bincount(
+            fv.cell_index, weights=w_f, minlength=pairs.n_cells
+        )
+        totals = base_totals + np.bincount(
+            fv.total_index, weights=w_f, minlength=pairs.n_totals
+        )
+        posterior, delta = _confusion_estep_kernel(
+            fv,
+            consts,
+            {
+                "mu": mu_f,
+                "cells": cells,
+                "totals": totals,
+                "smoothing": model.smoothing,
+            },
+        )
+        mu_f = posterior
+        if delta < model.tol:
+            converged = True
+            break
+    mu[fv.slot_ids] = mu_f
+    result = ColumnarInferenceResult(dataset, col, mu, iterations, converged)
+    result.frontier_size = len(frontier)
+    return result
+
+
 class DawidSkene(TruthInferenceAlgorithm):
     """Dawid-Skene EM with sparse per-claimant confusion matrices.
 
@@ -109,10 +185,18 @@ class DawidSkene(TruthInferenceAlgorithm):
     n_jobs, shards, parallel_backend:
         Parallel-execution knobs for the columnar engine (object-range
         shards, bitwise-identical results; see :mod:`repro.data.sharding`).
+        ``parallel_backend="auto"`` downgrades to serial on 1-core hosts or
+        small shards.
+    incremental / frontier_hops:
+        With ``incremental=True`` and a ``warm_start=`` result from the same
+        dataset, re-converge only the dirty frontier (touched objects plus
+        claimant-sharing neighbours up to ``frontier_hops``); falls back to
+        a cold fit whenever the delta cannot be served exactly.
     """
 
     name = "DS"
     supports_workers = True
+    supports_incremental = True
 
     def __init__(
         self,
@@ -122,7 +206,9 @@ class DawidSkene(TruthInferenceAlgorithm):
         use_columnar: Union[bool, str] = "auto",
         n_jobs: int = 1,
         shards: Optional[int] = None,
-        parallel_backend: str = "thread",
+        parallel_backend: str = "auto",
+        incremental: bool = False,
+        frontier_hops: int = 1,
     ) -> None:
         self.smoothing = smoothing
         self.max_iter = max_iter
@@ -131,9 +217,24 @@ class DawidSkene(TruthInferenceAlgorithm):
         self.n_jobs = n_jobs
         self.shards = shards
         self.parallel_backend = parallel_backend
+        self.incremental = incremental
+        if frontier_hops < 0:
+            raise ValueError("frontier_hops must be >= 0")
+        self.frontier_hops = frontier_hops
 
-    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+    def fit(
+        self,
+        dataset: TruthDiscoveryDataset,
+        warm_start: Optional[InferenceResult] = None,
+    ) -> InferenceResult:
+        warm_start = validate_warm_start(dataset, warm_start)
         if resolve_engine(self.use_columnar, dataset):
+            if self.incremental and warm_start is not None:
+                result = _incremental_confusion_fit(
+                    self, dataset, warm_start, with_prior=True
+                )
+                if result is not None:
+                    return result
             return self._fit_columnar(dataset)
         return self._fit_reference(dataset)
 
@@ -244,6 +345,7 @@ class ZenCrowd(TruthInferenceAlgorithm):
 
     name = "ZENCROWD"
     supports_workers = True
+    supports_incremental = True
 
     def __init__(
         self,
@@ -253,7 +355,9 @@ class ZenCrowd(TruthInferenceAlgorithm):
         use_columnar: Union[bool, str] = "auto",
         n_jobs: int = 1,
         shards: Optional[int] = None,
-        parallel_backend: str = "thread",
+        parallel_backend: str = "auto",
+        incremental: bool = False,
+        frontier_hops: int = 1,
     ) -> None:
         self.prior_reliability = prior_reliability
         self.max_iter = max_iter
@@ -262,11 +366,102 @@ class ZenCrowd(TruthInferenceAlgorithm):
         self.n_jobs = n_jobs
         self.shards = shards
         self.parallel_backend = parallel_backend
+        self.incremental = incremental
+        if frontier_hops < 0:
+            raise ValueError("frontier_hops must be >= 0")
+        self.frontier_hops = frontier_hops
 
-    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+    def fit(
+        self,
+        dataset: TruthDiscoveryDataset,
+        warm_start: Optional[InferenceResult] = None,
+    ) -> InferenceResult:
+        warm_start = validate_warm_start(dataset, warm_start)
         if resolve_engine(self.use_columnar, dataset):
+            if self.incremental and warm_start is not None:
+                result = self._fit_incremental(dataset, warm_start)
+                if result is not None:
+                    return result
             return self._fit_columnar(dataset)
         return self._fit_reference(dataset)
+
+    # ------------------------------------------------------------------
+    # incremental engine (dirty-object frontier)
+    # ------------------------------------------------------------------
+    def _fit_incremental(
+        self, dataset: TruthDiscoveryDataset, warm: InferenceResult
+    ) -> Optional[InferenceResult]:
+        """Frontier-only ZenCrowd EM; ``None`` -> run the full fit.
+
+        Needs no pair expansion: the global per-claimant correct-mass
+        reduction is patched as ``base + frontier`` where ``base`` is one
+        full claim-table bincount at the warm posteriors minus the
+        frontier's claims at the same posteriors. Reliability is seeded
+        from the warm result (prior for unseen claimants).
+        """
+        if not isinstance(warm, ColumnarInferenceResult):
+            return None
+        reliability_map = getattr(warm, "reliability", None)
+        if reliability_map is None:
+            return None
+        plan = incremental_frontier(dataset, warm._columnar, hops=self.frontier_hops)
+        if plan is None:
+            return None
+        col, frontier, _ops = plan
+        if len(frontier) >= col.n_objects:
+            return self._fit_columnar(dataset)
+
+        fv = FrontierView(col, frontier)
+        mu = warm.flat.copy()
+        # Vote-proportion re-init for the frontier, as in the confusion fit:
+        # the warm posterior as a prior is too saturated for new answers to
+        # move.
+        mu_f = col.initial_confidences_flat()[fv.slot_ids]
+        counts = col.claimant_counts()
+        reliability = np.full(
+            col.n_claimants, self.prior_reliability, dtype=np.float64
+        )
+        for cid, key in enumerate(col.claimants):
+            prev = reliability_map.get(key)
+            if prev is not None:
+                reliability[cid] = prev
+        base_correct = np.bincount(
+            col.claim_claimant,
+            weights=mu[col.claim_slot],
+            minlength=col.n_claimants,
+        )
+        base_correct -= np.bincount(
+            fv.claim_claimant,
+            weights=mu[fv.slot_ids][fv.claim_slot],
+            minlength=col.n_claimants,
+        )
+        consts = {
+            "miss_denom": np.maximum(fv.sizes[fv.claim_obj] - 1, 1).astype(
+                np.float64
+            )
+        }
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iter + 1):
+            r = np.clip(reliability, 1e-3, 1.0 - 1e-3)
+            posterior, claim_correct, delta = _zencrowd_estep_kernel(
+                fv, consts, {"mu": mu_f, "r": r}
+            )
+            mu_f = posterior
+            correct_mass = base_correct + np.bincount(
+                fv.claim_claimant,
+                weights=claim_correct,
+                minlength=col.n_claimants,
+            )
+            reliability = (correct_mass + 1.0) / (counts + 2.0)
+            if delta < self.tol:
+                converged = True
+                break
+        mu[fv.slot_ids] = mu_f
+        result = ColumnarInferenceResult(dataset, col, mu, iterations, converged)
+        result.reliability = col.claimant_mapping(reliability)  # type: ignore[attr-defined]
+        result.frontier_size = len(frontier)
+        return result
 
     # ------------------------------------------------------------------
     # columnar engine

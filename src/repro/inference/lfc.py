@@ -42,8 +42,9 @@ from .base import (
     InferenceResult,
     TruthInferenceAlgorithm,
     initial_confidences,
+    validate_warm_start,
 )
-from .dawid_skene import _confusion_estep_kernel
+from .dawid_skene import _confusion_estep_kernel, _incremental_confusion_fit
 
 
 class Lfc(TruthInferenceAlgorithm):
@@ -61,10 +62,17 @@ class Lfc(TruthInferenceAlgorithm):
     n_jobs, shards, parallel_backend:
         Parallel-execution knobs for the columnar engine (object-range
         shards, bitwise-identical results; see :mod:`repro.data.sharding`).
+        ``parallel_backend="auto"`` downgrades to serial on 1-core hosts or
+        small shards.
+    incremental / frontier_hops:
+        With ``incremental=True`` and a ``warm_start=`` result from the same
+        dataset, re-converge only the dirty frontier (see
+        :func:`repro.inference.dawid_skene._incremental_confusion_fit`).
     """
 
     name = "LFC"
     supports_workers = True
+    supports_incremental = True
 
     def __init__(
         self,
@@ -74,7 +82,9 @@ class Lfc(TruthInferenceAlgorithm):
         use_columnar: Union[bool, str] = "auto",
         n_jobs: int = 1,
         shards: Optional[int] = None,
-        parallel_backend: str = "thread",
+        parallel_backend: str = "auto",
+        incremental: bool = False,
+        frontier_hops: int = 1,
     ) -> None:
         self.smoothing = smoothing
         self.max_iter = max_iter
@@ -83,9 +93,24 @@ class Lfc(TruthInferenceAlgorithm):
         self.n_jobs = n_jobs
         self.shards = shards
         self.parallel_backend = parallel_backend
+        self.incremental = incremental
+        if frontier_hops < 0:
+            raise ValueError("frontier_hops must be >= 0")
+        self.frontier_hops = frontier_hops
 
-    def fit(self, dataset: TruthDiscoveryDataset) -> InferenceResult:
+    def fit(
+        self,
+        dataset: TruthDiscoveryDataset,
+        warm_start: Optional[InferenceResult] = None,
+    ) -> InferenceResult:
+        warm_start = validate_warm_start(dataset, warm_start)
         if resolve_engine(self.use_columnar, dataset):
+            if self.incremental and warm_start is not None:
+                result = _incremental_confusion_fit(
+                    self, dataset, warm_start, with_prior=False
+                )
+                if result is not None:
+                    return result
             return self._fit_columnar(dataset)
         return self._fit_reference(dataset)
 
@@ -214,8 +239,12 @@ class LfcMT(Lfc):
         super().__init__(**kwargs)
         self.threshold = threshold
 
-    def fit(self, dataset: TruthDiscoveryDataset) -> "LfcMTResult":
-        base = super().fit(dataset)
+    def fit(
+        self,
+        dataset: TruthDiscoveryDataset,
+        warm_start: Optional[InferenceResult] = None,
+    ) -> "LfcMTResult":
+        base = super().fit(dataset, warm_start=warm_start)
         hierarchy = dataset.hierarchy
         truth_sets: Dict[ObjectId, Set[Value]] = {}
         for obj in dataset.objects:

@@ -40,11 +40,16 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..data.columnar import ColumnarClaims, resolve_engine
+from ..data.columnar import (
+    ColumnarClaims,
+    FrontierView,
+    incremental_frontier,
+    resolve_engine,
+)
 from ..data.model import ObjectId, SourceId, TruthDiscoveryDataset, WorkerId
 from ..data.sharding import ColumnarShards, parallel_plan
 from ._structures import ObjectStructure, StructureCache
-from .base import InferenceResult, TruthInferenceAlgorithm
+from .base import InferenceResult, TruthInferenceAlgorithm, validate_warm_start
 
 DEFAULT_ALPHA = (3.0, 3.0, 2.0)
 """Source prior from Section 5.1: correct values are more frequent than wrong."""
@@ -89,6 +94,17 @@ class TDHResult(InferenceResult):
         self.columnar_state: Optional[
             Tuple[ColumnarClaims, np.ndarray, np.ndarray, np.ndarray]
         ] = None
+        #: Set by the columnar engine: ``{"g_sums": (n_claimants, 3),
+        #: "trust": (n_claimants, 3), "claimants": [...]}`` — the final
+        #: iteration's per-claimant case responsibility sums and trust rows,
+        #: keyed by claimant. The incremental fit patches these totals with
+        #: the frontier's delta contributions instead of re-reducing the
+        #: whole claim table, and re-seeds its trust array from the stored
+        #: rows without a per-claimant dict walk.
+        self.em_state: Optional[Dict[str, object]] = None
+        #: Set by the incremental fit: number of objects re-converged (the
+        #: frontier size). ``None`` for full fits.
+        self.frontier_size: Optional[int] = None
 
     def source_trustworthiness(self, source: SourceId) -> Tuple[float, float, float]:
         """``(phi_exact, phi_generalized, phi_wrong)`` for ``source``."""
@@ -181,13 +197,28 @@ class TDHModel(TruthInferenceAlgorithm):
         Parallel-execution knobs for the columnar engine: the E/M steps run
         over ``shards`` object-range shards (default: one per worker) on
         ``n_jobs`` workers (``-1`` = all cores) under the given backend
-        (``"thread"`` / ``"process"`` / ``"serial"``). Results are bitwise
-        identical to the unsharded path for every configuration; see
-        :mod:`repro.data.sharding`.
+        (``"serial"`` / ``"thread"`` / ``"process"``, or ``"auto"`` — the
+        default — which downgrades to serial on single-core hosts or small
+        claim tables; see :func:`repro.data.sharding.resolve_backend`).
+        Results are bitwise identical to the unsharded path for every
+        configuration; see :mod:`repro.data.sharding`.
+    incremental, frontier_hops:
+        ``incremental=True`` makes ``fit(dataset, warm_start=previous)``
+        re-converge only the *dirty frontier* — the objects touched since
+        the previous (columnar) fit plus everything within ``frontier_hops``
+        claimant links of them — holding clean objects' E-step outputs
+        fixed and patching the previous round's per-claimant reductions
+        with the frontier's delta. Falls back to the full fit whenever the
+        delta is not servable (no columnar state, an in-place overwrite, a
+        record append, a trimmed oplog window, or a frontier saturating to
+        the whole corpus — the last delegates to the full fit for exact
+        parity). Results agree with a cold fit within the convergence
+        tolerance; see ``docs/architecture.md``.
     """
 
     name = "TDH"
     supports_workers = True
+    supports_incremental = True
 
     def __init__(
         self,
@@ -202,7 +233,9 @@ class TDHModel(TruthInferenceAlgorithm):
         use_columnar: Union[bool, str] = "auto",
         n_jobs: int = 1,
         shards: Optional[int] = None,
-        parallel_backend: str = "thread",
+        parallel_backend: str = "auto",
+        incremental: bool = False,
+        frontier_hops: int = 1,
     ) -> None:
         self.alpha = np.asarray(alpha, dtype=float)
         self.beta = np.asarray(beta, dtype=float)
@@ -220,6 +253,10 @@ class TDHModel(TruthInferenceAlgorithm):
         self.n_jobs = n_jobs
         self.shards = shards
         self.parallel_backend = parallel_backend
+        self.incremental = incremental
+        if frontier_hops < 0:
+            raise ValueError("frontier_hops must be >= 0")
+        self.frontier_hops = frontier_hops
 
     def make_structure_cache(self, dataset: TruthDiscoveryDataset) -> StructureCache:
         """A structure cache matching this model's ablation flags."""
@@ -241,17 +278,26 @@ class TDHModel(TruthInferenceAlgorithm):
 
         ``warm_start`` (a previous fit on the same records) seeds source and
         worker trustworthiness, which the round-based crowd simulator uses to
-        avoid re-learning from scratch every round. ``structures`` may share a
-        :class:`StructureCache` across fits on identical records.
+        avoid re-learning from scratch every round; a warm start fitted on a
+        different dataset object, or before a record mutation, is refused
+        with a :class:`RuntimeWarning` and degrades to a cold start.
+        ``structures`` may share a :class:`StructureCache` across fits on
+        identical records. With ``incremental=True`` and a usable columnar
+        ``warm_start``, only the dirty frontier is re-converged.
         """
+        warm_start = validate_warm_start(dataset, warm_start)
         if resolve_engine(self.use_columnar, dataset):
+            if self.incremental and warm_start is not None:
+                result = self._fit_incremental(dataset, warm_start, structures)
+                if result is not None:
+                    return result
             return self._fit_columnar(dataset, warm_start, structures)
         return self._fit_reference(dataset, warm_start, structures)
 
     # ------------------------------------------------------------------
     # columnar engine
     # ------------------------------------------------------------------
-    def _pair_case_arrays(self, col: ColumnarClaims):
+    def _pair_case_arrays(self, col: ColumnarClaims, view=None):
         """Per claim x candidate case weights of Eq. (1)-(4), as flat arrays.
 
         Element ``p`` of each returned array is the corresponding entry
@@ -259,20 +305,36 @@ class TDHModel(TruthInferenceAlgorithm):
         ``u`` is the pair's claimed value and ``v`` its hypothesised truth.
         The ablation flags are honoured exactly as in
         :func:`repro.inference._structures.build_structure`.
+
+        With a :class:`~repro.data.columnar.FrontierView` the arrays cover
+        only the view's pairs (same expressions, evaluated on the view's
+        global claim rows / slots), so an incremental fit's setup cost is
+        O(frontier pairs) — plus one O(claims) pass for the global popularity
+        denominators, which are corpus-wide by definition.
         """
-        pairs = col.pairs
-        n_pairs = len(pairs.pair_claim)
-        n = pairs.pair_size  # |Vo| per pair, float
-        exact_f = pairs.pair_is_claimed.astype(np.float64)
+        if view is None:
+            pairs = col.pairs
+            pair_claim_rows = pairs.pair_claim
+            pair_slots = pairs.pair_slot
+            pair_size = pairs.pair_size
+            pair_is_claimed = pairs.pair_is_claimed
+        else:
+            pair_claim_rows = view.claim_ids[view.pair_claim]
+            pair_slots = view.slot_ids[view.pair_slot]
+            pair_size = view.pair_size
+            pair_is_claimed = view.pair_is_claimed
+        n_pairs = len(pair_claim_rows)
+        n = pair_size  # |Vo| per pair, float
+        exact_f = pair_is_claimed.astype(np.float64)
 
         if self.use_hierarchy:
             # Only this ablation branch needs the encoded hierarchy; keep the
             # hierarchy-blind variant from paying for its construction.
             hier = col.hierarchy
             anc = hier.is_ancestor_vid(
-                col.claim_vid[pairs.pair_claim], col.slot_vid[pairs.pair_slot]
+                col.claim_vid[pair_claim_rows], col.slot_vid[pair_slots]
             )
-            gsize = hier.slot_gsize[pairs.pair_slot].astype(np.float64)
+            gsize = hier.slot_gsize[pair_slots].astype(np.float64)
             hflag_obj = (
                 np.ones(col.n_objects, dtype=bool)
                 if not self.collapse_flat_objects
@@ -282,9 +344,9 @@ class TDHModel(TruthInferenceAlgorithm):
             anc = np.zeros(n_pairs, dtype=bool)
             gsize = np.zeros(n_pairs, dtype=np.float64)
             hflag_obj = np.zeros(col.n_objects, dtype=bool)
-        hflag = hflag_obj[col.claim_obj[pairs.pair_claim]]
+        hflag = hflag_obj[col.claim_obj[pair_claim_rows]]
         anc_f = anc.astype(np.float64)
-        case3_f = (~pairs.pair_is_claimed & ~anc).astype(np.float64)
+        case3_f = (~pair_is_claimed & ~anc).astype(np.float64)
 
         # Eq. (1)/(2): generalized truths uniform over Go(v); wrong values
         # uniform over the remaining candidates (all non-truth ones for
@@ -302,9 +364,9 @@ class TDHModel(TruthInferenceAlgorithm):
         # Eq. (3): Pop2/Pop3 redistribute the worker case mass by how often
         # sources claimed each value.
         counts, pop2_slot, pop3_slot = col.popularity_denominators(self.use_hierarchy)
-        u_counts = counts[col.claim_slot[pairs.pair_claim]]
-        pop2 = pop2_slot[pairs.pair_slot]
-        pop3 = pop3_slot[pairs.pair_slot]
+        u_counts = counts[col.claim_slot[pair_claim_rows]]
+        pop2 = pop2_slot[pair_slots]
+        pop3 = pop3_slot[pair_slots]
         wrk2_h = np.where(pop2 > 0, anc_f * u_counts / np.maximum(pop2, 1.0), 0.0)
         worker_case2 = np.where(hflag, wrk2_h, exact_f)
         worker_case3 = np.where(pop3 > 0, case3_f * u_counts / np.maximum(pop3, 1.0), 0.0)
@@ -370,6 +432,7 @@ class TDHModel(TruthInferenceAlgorithm):
         numer_flat = np.zeros(col.n_slots, dtype=np.float64)
         iterations = 0
         converged = False
+        g_sums = None
 
         with executor.session(shards, consts) as sess:
             for iterations in range(1, self.max_iter + 1):
@@ -424,14 +487,231 @@ class TDHModel(TruthInferenceAlgorithm):
             phi=phi,
             psi=psi,
             numerators=col.to_confidences(numer_flat),
-            denominators={
-                obj: float(denom_obj[oid]) for oid, obj in enumerate(col.objects)
-            },
+            denominators=dict(zip(col.objects, denom_obj.tolist())),
             structures=cache,
             iterations=iterations,
             converged=converged,
         )
         result.columnar_state = (col, mu, numer_flat, denom_obj)
+        if g_sums is not None:
+            result.em_state = {
+                "g_sums": g_sums,
+                "trust": trust,
+                "claimants": col.claimants,
+            }
+        return result
+
+    # ------------------------------------------------------------------
+    # incremental engine (dirty-object frontier)
+    # ------------------------------------------------------------------
+    def _fit_incremental(
+        self,
+        dataset: TruthDiscoveryDataset,
+        warm_start: "TDHResult",
+        structures: Optional[StructureCache],
+    ) -> Optional[TDHResult]:
+        """Warm-started frontier re-convergence; ``None`` -> run the full fit.
+
+        Per EM iteration only the frontier's E-step runs (the unmodified
+        :func:`_tdh_estep_kernel` over a
+        :class:`~repro.data.columnar.FrontierView`); the global per-claimant
+        case sums are patched as ``base + frontier`` where ``base`` is the
+        previous round's stored totals minus the frontier's pre-existing
+        claims re-evaluated at the warm parameters. Clean objects keep their
+        previous posteriors and numerators verbatim. The freeze makes the
+        result an approximation bounded by the previous fit's convergence
+        tolerance — ``tests/test_incremental_em.py`` property-checks it
+        against cold fits — except when the frontier saturates, where the
+        fit delegates to :meth:`_fit_columnar` for bitwise parity.
+        """
+        state = warm_start.columnar_state
+        em = warm_start.em_state
+        if state is None or em is None:
+            return None
+        plan = incremental_frontier(dataset, state[0], hops=self.frontier_hops)
+        if plan is None:
+            return None
+        col, frontier, ops = plan
+        if len(frontier) >= col.n_objects:
+            # Saturated frontier: the full warm fit is both exact and no
+            # more expensive than re-converging "everything incrementally".
+            return self._fit_columnar(dataset, warm_start, structures)
+
+        fv = FrontierView(col, frontier)
+        cache = structures if structures is not None else self.make_structure_cache(dataset)
+        prior_phi = self.alpha / self.alpha.sum()
+        prior_psi = self.beta / self.beta.sum()
+        is_worker = col.claimant_is_worker
+
+        # Old claimant id -> current id (append-only => every old claimant
+        # still exists; brand-new ones keep the prior rows set below).
+        index = col.claimant_index
+        old_ids = np.fromiter(
+            (index[key] for key in em["claimants"]),
+            dtype=np.int64,
+            count=len(em["claimants"]),
+        )
+        trust = np.where(is_worker[:, None], prior_psi, prior_phi)
+        warm_trust = em.get("trust")
+        if warm_trust is not None:
+            trust[old_ids] = warm_trust
+        else:  # pragma: no cover - states predating the stored trust array
+            for cid, key in enumerate(col.claimants):
+                vec = (
+                    warm_start.psi.get(key[1])
+                    if is_worker[cid]
+                    else warm_start.phi.get(key)
+                )
+                if vec is not None:
+                    trust[cid] = vec
+
+        exact_f, src2, src3, wrk2, wrk3 = self._pair_case_arrays(col, fv)
+        is_answer_pair = fv.claim_is_answer[fv.pair_claim]
+        consts = {
+            "exact": exact_f,
+            "case2": np.where(is_answer_pair, wrk2, src2),
+            "case3": np.where(is_answer_pair, wrk3, src3),
+            "pair_claimant": fv.claim_claimant[fv.pair_claim],
+        }
+
+        mu = state[1].copy()
+        numer_flat = state[2].copy()
+        mu_f = mu[fv.slot_ids]
+
+        # Base per-claimant case sums: the previous round's totals re-keyed
+        # to the current claimant ids (append-only => every old claimant
+        # still exists; new ones start at zero), minus the frontier's
+        # pre-existing claims re-evaluated at the warm parameters — the
+        # appended claims were never inside the stored totals.
+        n_claimants = col.n_claimants
+        base_g = np.zeros((n_claimants, 3), dtype=np.float64)
+        base_g[old_ids] = em["g_sums"]
+        _, g1, g2, g3 = _tdh_estep_kernel(fv, consts, {"trust": trust, "mu": mu_f})
+        appended_keys = np.asarray(
+            [
+                col.object_index[obj] * n_claimants
+                + index[claimant if kind == "record" else ("worker", claimant)]
+                for kind, obj, claimant, _value in ops
+            ],
+            dtype=np.int64,
+        )
+        fv_keys = col.claim_obj[fv.claim_ids] * n_claimants + fv.claim_claimant
+        old_claims = ~np.isin(fv_keys, appended_keys)
+        for k, g in enumerate((g1, g2, g3)):
+            base_g[:, k] -= np.bincount(
+                fv.claim_claimant[old_claims],
+                weights=g[old_claims],
+                minlength=n_claimants,
+            )
+
+        gamma_minus_1 = self.gamma - 1.0
+        denom_obj = (
+            np.diff(col.claim_offsets).astype(np.float64)
+            + col.sizes * gamma_minus_1
+        )
+        den_slot = denom_obj[fv.obj_ids][fv.slot_obj]
+        den_positive = den_slot > 0
+        den_safe = np.where(den_positive, den_slot, 1.0)
+        uniform_slot = 1.0 / fv.sizes.astype(np.float64)[fv.slot_obj]
+        prior_m1 = np.where(is_worker[:, None], self.beta - 1.0, self.alpha - 1.0)
+        prior_mean = np.where(is_worker[:, None], prior_psi, prior_phi)
+
+        def m_step_trust(g, m1, m1_sum, mean):
+            # Trust M-step (Eq. 10-11) over a (rows, 3) case-sum block.
+            denom_c = g.sum(axis=1) + m1_sum
+            ok = denom_c > 0
+            vec = (g + m1) / np.where(ok, denom_c, 1.0)[:, None]
+            vec = np.clip(vec, 1e-12, None)
+            vec /= vec.sum(axis=1, keepdims=True)
+            return np.where(ok[:, None], vec, mean)
+
+        # Only claimants with frontier claims see their case sums move, and
+        # the E-step kernel only ever gathers *their* trust rows — every
+        # other row of ``g_sums`` is ``base_g`` for the whole loop, so its
+        # M-step output is a constant that can wait until after the loop.
+        # Per iteration we re-solve just the frontier claimants' block: this
+        # is exactly the global M-step, restricted to the rows that can
+        # change anything.
+        f_cids = np.unique(fv.claim_claimant)
+        claim_local = np.searchsorted(f_cids, fv.claim_claimant)
+        n_local_cids = len(f_cids)
+        prior_m1_f = prior_m1[f_cids]
+        prior_m1_sum_f = prior_m1_f.sum(axis=1)
+        prior_mean_f = prior_mean[f_cids]
+        base_g_f = base_g[f_cids]
+        # One fused bincount per iteration: the three case columns live at
+        # offsets 0 / n / 2n of a single index array.
+        claim_local_3 = np.concatenate(
+            [claim_local + k * n_local_cids for k in range(3)]
+        )
+
+        numer_f = numer_flat[fv.slot_ids]
+        n_local_slots = fv.slot_hi
+        iterations = 0
+        converged = False
+        g_local = base_g_f
+        for iterations in range(1, self.max_iter + 1):
+            f_sum, g1, g2, g3 = _tdh_estep_kernel(
+                fv, consts, {"trust": trust, "mu": mu_f}
+            )
+            g_local = base_g_f + np.bincount(
+                claim_local_3,
+                weights=np.concatenate((g1, g2, g3)),
+                minlength=3 * n_local_cids,
+            ).reshape(3, n_local_cids).T
+            trust[f_cids] = m_step_trust(
+                g_local, prior_m1_f, prior_m1_sum_f, prior_mean_f
+            )
+
+            # Confidence M-step (Eq. 9) over the frontier slots only.
+            numer_f = f_sum + gamma_minus_1
+            new_mu_f = np.where(den_positive, numer_f / den_safe, uniform_slot)
+            delta = (
+                float(np.max(np.abs(new_mu_f - mu_f))) if n_local_slots else 0.0
+            )
+            mu_f = new_mu_f
+            if delta < self.tol:
+                converged = True
+                break
+
+        mu[fv.slot_ids] = mu_f
+        numer_flat[fv.slot_ids] = numer_f
+
+        # Clean claimants' constant M-step rows, deferred from the loop.
+        frontier_trust = trust[f_cids]
+        trust = m_step_trust(base_g, prior_m1, prior_m1.sum(axis=1), prior_mean)
+        trust[f_cids] = frontier_trust
+        g_sums = base_g.copy()
+        g_sums[f_cids] = g_local
+
+        # Rows are views into the freshly built ``trust`` (never mutated
+        # again) — same aliasing contract as :meth:`to_confidences`.
+        phi: Dict[SourceId, np.ndarray] = {}
+        psi: Dict[WorkerId, np.ndarray] = {}
+        for cid, key in enumerate(col.claimants):
+            if is_worker[cid]:
+                psi[key[1]] = trust[cid]
+            else:
+                phi[key] = trust[cid]
+
+        result = TDHResult(
+            dataset=dataset,
+            confidences=col.to_confidences(mu),
+            phi=phi,
+            psi=psi,
+            numerators=col.to_confidences(numer_flat),
+            denominators=dict(zip(col.objects, denom_obj.tolist())),
+            structures=cache,
+            iterations=iterations,
+            converged=converged,
+        )
+        result.columnar_state = (col, mu, numer_flat, denom_obj)
+        result.em_state = {
+            "g_sums": g_sums,
+            "trust": trust,
+            "claimants": col.claimants,
+        }
+        result.frontier_size = len(frontier)
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,523 @@
+"""Dirty-object incremental EM: frontier machinery + warm-started fits.
+
+Three layers, mirroring the implementation:
+
+1. **Index/frontier machinery** (`data/columnar.py`): the claimant->object
+   CSR index must equal a cold build after arbitrary append splices
+   (including claimant renumbering), the frontier expansion must match a
+   brute-force BFS at every hop bound, and ``FrontierView`` must gather
+   exactly the global rows it claims to.
+2. **Oplog window edges** (`data/model.py`): a held encoding is servable at
+   exactly ``MAX_OPLOG`` appended ops, unservable at ``MAX_OPLOG + 1`` and
+   across an overwrite-triggered log clear — the off-by-one territory the
+   incremental fits depend on for their cold-fallback guarantee.
+3. **Incremental-vs-cold parity** (inference): property tests over random
+   answer-append interleavings asserting the frontier fits track a cold
+   columnar fit — bitwise when the frontier saturates to the full object
+   set, within per-algorithm tolerances otherwise (TDH/DS/LFC agree on
+   truths; ZenCrowd, whose tail-source reliabilities are genuinely unstable
+   under small deltas, is held to accuracy parity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.simulator import CrowdSimulator
+from repro.crowd.workers import make_worker_pool
+from repro.data.columnar import (
+    ClaimantObjectsIndex,
+    ColumnarClaims,
+    FrontierView,
+    incremental_frontier,
+)
+from repro.data.model import Answer, Record, TruthDiscoveryDataset
+from repro.datasets import make_birthplaces, make_heritages
+from repro.eval.metrics import evaluate
+from repro.hierarchy.tree import Hierarchy
+from repro.inference import DawidSkene, Lfc, TDHModel, ZenCrowd
+from repro.inference.tdh import TDHResult
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _sparse_heritages():
+    return make_heritages(size=160, n_sources=350, seed=11)
+
+
+def _add_random_answers(dataset, n, seed, n_workers=7, p_truth=0.7):
+    """Append ``n`` seeded answers (mostly truthful, like a crowd round)."""
+    rng = np.random.default_rng(seed)
+    objects = dataset.objects
+    for i in range(n):
+        obj = objects[int(rng.integers(len(objects)))]
+        ctx = dataset.context(obj)
+        truth = dataset.gold.get(obj)
+        if truth is not None and truth in ctx.index and rng.random() < p_truth:
+            value = truth
+        else:
+            value = ctx.values[int(rng.integers(len(ctx.values)))]
+        dataset.add_answer(Answer(obj, f"w{i % n_workers}", value))
+
+
+def _normalized(result, obj):
+    vec = np.asarray(result.confidences[obj], dtype=float)
+    total = vec.sum()
+    return vec / total if total > 0 else vec
+
+
+def _max_confidence_diff(a, b, objects):
+    return max(
+        float(np.max(np.abs(_normalized(a, o) - _normalized(b, o))))
+        for o in objects
+    )
+
+
+def _brute_frontier(col, dirty, hops):
+    frontier = set(int(o) for o in dirty)
+    for _ in range(hops):
+        if len(frontier) == col.n_objects:
+            break
+        cids = set()
+        for oid in frontier:
+            lo, hi = col.claim_offsets[oid], col.claim_offsets[oid + 1]
+            cids.update(int(c) for c in col.claim_claimant[lo:hi])
+        grown = set(frontier)
+        for oid in range(col.n_objects):
+            lo, hi = col.claim_offsets[oid], col.claim_offsets[oid + 1]
+            if any(int(c) in cids for c in col.claim_claimant[lo:hi]):
+                grown.add(oid)
+        if grown == frontier:
+            break
+        frontier = grown
+    return np.array(sorted(frontier), dtype=np.int64)
+
+
+def _assert_index_equal(index, other):
+    assert np.array_equal(index.offsets, other.offsets)
+    assert np.array_equal(index.objects, other.objects)
+
+
+# ---------------------------------------------------------------------------
+# claimant->object CSR index
+# ---------------------------------------------------------------------------
+def test_claimant_objects_index_matches_brute_force():
+    ds = _sparse_heritages()
+    col = ds.columnar()
+    index = col.claimant_objects
+    for cid in range(col.n_claimants):
+        expected = sorted(
+            int(o)
+            for o, c in zip(col.claim_obj, col.claim_claimant)
+            if int(c) == cid
+        )
+        lo, hi = index.offsets[cid], index.offsets[cid + 1]
+        assert list(index.objects[lo:hi]) == expected
+    # objects_of concatenates the groups of the requested claimants
+    cids = np.array([0, min(3, col.n_claimants - 1)], dtype=np.int64)
+    got = index.objects_of(cids)
+    expected = np.concatenate(
+        [index.objects[index.offsets[c] : index.offsets[c + 1]] for c in cids]
+    )
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_claimant_objects_index_splices_forward(seed):
+    """Property: the spliced index equals a cold build after any interleaving
+    of answer and record appends — including appends that introduce new
+    claimants mid-order (exercising the claimant renumbering remap)."""
+    rng = np.random.default_rng(seed)
+    tree = Hierarchy()
+    for head in ("A", "B", "C"):
+        tree.add_path([head, f"{head}1", f"{head}1a"])
+        tree.add_path([head, f"{head}2"])
+    values = [f"{h}{s}" for h in "ABC" for s in ("1", "2", "1a")]
+    ds = TruthDiscoveryDataset(
+        tree, [Record(f"o{i}", f"s{i % 4}", values[i % len(values)]) for i in range(8)]
+    )
+    ds.columnar().claimant_objects  # prime the encoding AND the index
+    for step in range(60):
+        objects = ds.objects
+        obj = objects[int(rng.integers(len(objects)))]
+        if rng.random() < 0.5:
+            worker = f"w{int(rng.integers(6))}"
+            candidates = ds.candidates(obj)
+            ds.add_answer(
+                Answer(obj, worker, candidates[int(rng.integers(len(candidates)))])
+            )
+        else:
+            # new sources force claimant-id renumbering through the splice;
+            # the value stays inside the object's candidate set so the
+            # append is spliceable (new values cold-rebuild by design)
+            source = f"s{int(rng.integers(12))}"
+            if source in ds.records_for(obj):
+                continue
+            candidates = ds.candidates(obj)
+            ds.add_record(
+                Record(obj, source, candidates[int(rng.integers(len(candidates)))])
+            )
+        if step % 10 == 9:
+            col = ds.columnar()
+            assert col._claimant_objects is not None  # spliced, not dropped
+            _assert_index_equal(
+                col.claimant_objects, ClaimantObjectsIndex.build(ColumnarClaims(ds))
+            )
+    col = ds.columnar()
+    _assert_index_equal(
+        col.claimant_objects, ClaimantObjectsIndex.build(ColumnarClaims(ds))
+    )
+
+
+# ---------------------------------------------------------------------------
+# frontier expansion
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("hops", [0, 1, 2, 3])
+def test_frontier_matches_brute_force_bfs(hops):
+    ds = _sparse_heritages()
+    col = ds.columnar()
+    rng = np.random.default_rng(5)
+    dirty = rng.choice(col.n_objects, size=4, replace=False)
+    frontier = col.frontier(dirty, hops=hops)
+    assert np.array_equal(frontier, _brute_frontier(col, dirty, hops))
+    # sorted, unique, superset of the dirty set
+    assert np.all(np.diff(frontier) > 0)
+    assert set(int(d) for d in dirty) <= set(int(f) for f in frontier)
+
+
+def test_frontier_monotone_in_hops_and_saturates_on_dense_data():
+    sparse = _sparse_heritages().columnar()
+    dirty = np.array([0, 7], dtype=np.int64)
+    sizes = [len(sparse.frontier(dirty, hops=h)) for h in range(4)]
+    assert sizes == sorted(sizes)
+    assert sizes[0] == 2  # hops=0 is exactly the dirty set
+    # BirthPlaces has two near-complete sources: one hop reaches everything
+    dense = make_birthplaces(size=120, seed=7).columnar()
+    assert len(dense.frontier(np.array([3]), hops=1)) == dense.n_objects
+
+
+def test_frontier_view_gathers_the_global_rows():
+    ds = _sparse_heritages()
+    col = ds.columnar()
+    frontier = col.frontier(np.array([2, 11, 40]), hops=1)
+    fv = FrontierView(col, frontier)
+    assert fv.slot_lo == 0 and fv.slot_hi == int(np.sum(col.sizes[frontier]))
+    # slot/claim gathers match direct per-object slicing
+    assert np.array_equal(fv.sizes, col.sizes[frontier])
+    for local, oid in enumerate(frontier):
+        lo, hi = fv.value_offsets[local], fv.value_offsets[local + 1]
+        assert np.array_equal(
+            fv.slot_ids[lo:hi],
+            np.arange(col.value_offsets[oid], col.value_offsets[oid + 1]),
+        )
+    assert np.array_equal(
+        fv.claim_claimant, col.claim_claimant[fv.claim_ids]
+    )
+    # local claim_slot points at the same candidate the global table does
+    assert np.array_equal(
+        fv.slot_ids[fv.claim_slot], col.claim_slot[fv.claim_ids]
+    )
+    # the pair gather shares the global tables' confusion-cell id space
+    pairs = col.pairs
+    assert np.array_equal(fv.cell_index, pairs.cell_index[fv.pair_rows])
+    assert np.array_equal(fv.total_index, pairs.total_index[fv.pair_rows])
+    assert np.array_equal(
+        fv.slot_ids[fv.pair_slot], pairs.pair_slot[fv.pair_rows]
+    )
+
+
+def test_incremental_frontier_serves_answer_deltas_only():
+    ds = _sparse_heritages()
+    prev = ds.columnar()
+    _add_random_answers(ds, 10, seed=3)
+    plan = incremental_frontier(ds, prev)
+    assert plan is not None
+    col, frontier, ops = plan
+    assert col is ds.columnar()
+    touched = {op[1] for op in ops}
+    assert {col.objects[i] for i in frontier} >= touched
+    assert len(ops) == 10
+    # another dataset's encoding is refused by the lineage guard
+    foreign = _sparse_heritages().columnar()
+    assert incremental_frontier(ds, foreign) is None
+    # an in-place overwrite poisons the window -> cold fallback
+    ds2 = _sparse_heritages()
+    prev2 = ds2.columnar()
+    obj = ds2.objects[0]
+    source, old = next(iter(ds2.records_for(obj).items()))
+    replacement = next(v for v in ds2.candidates(obj) if v != old)
+    ds2.add_record(Record(obj, source, replacement))
+    assert incremental_frontier(ds2, prev2) is None
+
+
+# ---------------------------------------------------------------------------
+# oplog cap edges (satellite: MAX_OPLOG off-by-one)
+# ---------------------------------------------------------------------------
+def _primed_birthplaces(cap):
+    ds = make_birthplaces(size=40, seed=6)
+    ds.MAX_OPLOG = cap  # per-instance override, class attr untouched
+    held = ds.columnar()
+    return ds, held
+
+
+def test_oplog_window_servable_at_exactly_max_oplog():
+    ds, held = _primed_birthplaces(cap=8)
+    for i, obj in enumerate(ds.objects[:8]):
+        ds.add_answer(Answer(obj, f"w{i}", ds.candidates(obj)[0]))
+    assert len(ds._oplog) == 8  # at the cap, nothing trimmed
+    delta = ds.dirty_objects_since(held.version)
+    assert delta is not None and len(delta[1]) == 8
+    plan = incremental_frontier(ds, held)
+    assert plan is not None
+    col = ds.columnar()
+    assert col.n_claims == ColumnarClaims(ds).n_claims
+    assert np.array_equal(col.claim_claimant, ColumnarClaims(ds).claim_claimant)
+
+
+def test_oplog_window_unservable_at_max_oplog_plus_one():
+    ds, held = _primed_birthplaces(cap=8)
+    for i, obj in enumerate(ds.objects[:9]):
+        ds.add_answer(Answer(obj, f"w{i}", ds.candidates(obj)[0]))
+    assert len(ds._oplog) == 8  # the oldest op was trimmed away
+    assert ds._oplog_base == held.version + 1
+    assert ds._columnar is None  # the cached encoding was stranded
+    assert ds.dirty_objects_since(held.version) is None
+    assert incremental_frontier(ds, held) is None  # held window spans the trim
+    # the cold rebuild still produces a correct encoding
+    assert np.array_equal(
+        ds.columnar().claim_claimant, ColumnarClaims(ds).claim_claimant
+    )
+
+
+def test_oplog_clear_by_overwrite_is_always_detected():
+    """A held encoding whose window spans an overwrite-triggered log clear
+    must be caught by the ``_oplog_base`` check regardless of how many ops
+    follow the clear."""
+    ds, held = _primed_birthplaces(cap=8)
+    obj = next(o for o in ds.objects if len(ds.candidates(o)) >= 2)
+    source, old = next(iter(ds.records_for(obj).items()))
+    replacement = next(v for v in ds.candidates(obj) if v != old)
+    ds.add_record(Record(obj, source, replacement))  # clears the log
+    for i, obj2 in enumerate(o for o in ds.objects[:4] if o != obj):
+        ds.add_answer(Answer(obj2, f"w{i}", ds.candidates(obj2)[0]))
+    assert ds._oplog_base > held.version
+    assert ds.dirty_objects_since(held.version) is None
+    assert incremental_frontier(ds, held) is None
+
+
+# ---------------------------------------------------------------------------
+# warm-start gate (satellite: clones / record mutations degrade to cold)
+# ---------------------------------------------------------------------------
+def test_warm_start_from_a_clone_degrades_to_cold_with_warning():
+    ds = _sparse_heritages()
+    model = DawidSkene(max_iter=20, use_columnar=True, incremental=True)
+    warm = model.fit(ds)
+    clone = ds.copy()
+    with pytest.warns(RuntimeWarning, match="different dataset"):
+        result = model.fit(clone, warm_start=warm)
+    assert result.frontier_size is None  # cold path, not the frontier fit
+    cold = DawidSkene(max_iter=20, use_columnar=True).fit(ds.copy())
+    assert _max_confidence_diff(result, cold, ds.objects) == 0.0
+
+
+def test_warm_start_after_record_mutation_degrades_to_cold_with_warning():
+    ds = _sparse_heritages()
+    model = TDHModel(max_iter=15, use_columnar=True, incremental=True)
+    warm = model.fit(ds)
+    obj = ds.objects[0]
+    ds.add_record(Record(obj, "brand-new-source", ds.candidates(obj)[0]))
+    with pytest.warns(RuntimeWarning, match="record mutation"):
+        result = model.fit(ds, warm_start=warm)
+    assert result.frontier_size is None
+
+
+# ---------------------------------------------------------------------------
+# incremental-vs-cold parity (the tentpole's correctness contract)
+# ---------------------------------------------------------------------------
+def _parity_models():
+    kw = dict(max_iter=60, tol=1e-7, use_columnar=True)
+    return {
+        # (model factory, truths must match, confidence tolerance); the
+        # confidence bars bound the stored-state approximation drift over
+        # chained rounds, truth equality is the hard contract
+        "TDH": (lambda inc: TDHModel(incremental=inc, **kw), True, 2e-2),
+        "DS": (lambda inc: DawidSkene(incremental=inc, **kw), True, 1e-5),
+        "LFC": (lambda inc: Lfc(incremental=inc, **kw), True, 5e-2),
+    }
+
+
+@pytest.mark.parametrize("name", ["TDH", "DS", "LFC"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_incremental_tracks_cold_over_random_append_rounds(name, seed):
+    """Property: chained incremental rounds (each warm-started from the
+    previous incremental result) track a cold columnar fit on a mirrored
+    dataset receiving the identical answer stream."""
+    factory, truths_match, tol = _parity_models()[name]
+    base = _sparse_heritages()
+    ds = base.copy()
+    mirror = base.copy()
+    model = factory(True)
+    cold_model = factory(False)
+    warm = model.fit(ds)
+    served_incrementally = 0
+    for round_no in range(3):
+        rng_seed = 100 * seed + round_no
+        _add_random_answers(ds, 20, seed=rng_seed)
+        _add_random_answers(mirror, 20, seed=rng_seed)
+        warm = model.fit(ds, warm_start=warm)
+        cold = cold_model.fit(mirror)
+        if warm.frontier_size is not None:
+            served_incrementally += 1
+            assert warm.frontier_size < len(ds.objects)
+        if truths_match:
+            t_inc, t_cold = warm.truths(), cold.truths()
+            assert all(t_inc[o] == t_cold[o] for o in ds.objects)
+        assert _max_confidence_diff(warm, cold, ds.objects) < tol
+    assert served_incrementally > 0  # the frontier path actually ran
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_zencrowd_incremental_accuracy_parity(seed):
+    """ZenCrowd's Zipf-tail reliabilities are legitimately unstable under
+    small deltas (1-2-claim sources swing by O(1/3) when one object flips),
+    so the parity bar is accuracy-level, not per-confidence."""
+    base = _sparse_heritages()
+    ds, mirror = base.copy(), base.copy()
+    model = ZenCrowd(max_iter=60, tol=1e-7, use_columnar=True, incremental=True)
+    warm = model.fit(ds)
+    _add_random_answers(ds, 30, seed=seed)
+    _add_random_answers(mirror, 30, seed=seed)
+    inc = model.fit(ds, warm_start=warm)
+    cold = ZenCrowd(max_iter=60, tol=1e-7, use_columnar=True).fit(mirror)
+    assert inc.frontier_size is not None
+    t_inc, t_cold = inc.truths(), cold.truths()
+    agreement = sum(t_inc[o] == t_cold[o] for o in ds.objects) / len(ds.objects)
+    assert agreement >= 0.9
+    acc_inc = evaluate(ds, t_inc).accuracy
+    acc_cold = evaluate(mirror, t_cold).accuracy
+    assert abs(acc_inc - acc_cold) <= 0.05
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda inc: TDHModel(max_iter=25, use_columnar=True, incremental=inc),
+        lambda inc: DawidSkene(max_iter=25, use_columnar=True, incremental=inc),
+        lambda inc: ZenCrowd(max_iter=25, use_columnar=True, incremental=inc),
+        lambda inc: Lfc(max_iter=25, use_columnar=True, incremental=inc),
+    ],
+    ids=["TDH", "DS", "ZENCROWD", "LFC"],
+)
+def test_saturated_frontier_is_bitwise_exact(factory):
+    """BirthPlaces' near-complete sources make any 1-hop frontier the full
+    object set: the incremental fit must delegate to the full columnar fit
+    and reproduce it bitwise."""
+
+    def build():
+        ds = make_birthplaces(size=120, seed=7)
+        return ds
+
+    ds = build()
+    model = factory(True)
+    warm = model.fit(ds)
+    obj = ds.objects[5]
+    ds.add_answer(Answer(obj, "w0", ds.candidates(obj)[0]))
+    inc = model.fit(ds, warm_start=warm)
+    assert inc.frontier_size is None  # saturation delegated to the full fit
+
+    mirror = build()
+    cold_model = factory(False)
+    warm_mirror = cold_model.fit(mirror)
+    mobj = mirror.objects[5]
+    mirror.add_answer(Answer(mobj, "w0", mirror.candidates(mobj)[0]))
+    if isinstance(inc, TDHResult):
+        expected = cold_model.fit(mirror, warm_start=warm_mirror)
+    else:
+        expected = cold_model.fit(mirror)
+    assert inc.iterations == expected.iterations
+    for o in ds.objects:
+        assert np.array_equal(inc.confidences[o], expected.confidences[o])
+
+
+def test_tdh_incremental_reuses_and_patches_em_state():
+    ds = _sparse_heritages()
+    model = TDHModel(max_iter=40, tol=1e-6, use_columnar=True, incremental=True)
+    warm = model.fit(ds)
+    assert warm.em_state is not None and warm.columnar_state is not None
+    _add_random_answers(ds, 15, seed=9)
+    inc = model.fit(ds, warm_start=warm)
+    assert inc.frontier_size is not None
+    assert inc.em_state is not None  # chained rounds keep warm-starting
+    assert inc.columnar_state is not None
+    # the patched per-claimant case sums stay close to a cold fit's
+    cold = TDHModel(max_iter=40, tol=1e-6, use_columnar=True).fit(ds)
+    g_inc = dict(zip(inc.em_state["claimants"], np.asarray(inc.em_state["g_sums"])))
+    g_cold = dict(
+        zip(cold.em_state["claimants"], np.asarray(cold.em_state["g_sums"]))
+    )
+    assert set(g_inc) == set(g_cold)
+    worst = max(float(np.max(np.abs(g_inc[k] - g_cold[k]))) for k in g_cold)
+    assert worst < 0.5  # case-responsibility mass, claimant-level
+
+
+def test_incremental_without_warm_or_disabled_is_cold():
+    ds = _sparse_heritages()
+    model = TDHModel(max_iter=15, use_columnar=True, incremental=True)
+    result = model.fit(ds)  # no warm_start: plain cold fit
+    assert result.frontier_size is None
+    off = TDHModel(max_iter=15, use_columnar=True)
+    warm = off.fit(ds)
+    _add_random_answers(ds, 5, seed=1)
+    result = off.fit(ds, warm_start=warm)  # knob off: warm but full EM
+    assert result.frontier_size is None
+
+
+def test_frontier_hops_knob_validates_and_widens():
+    with pytest.raises(ValueError, match="frontier_hops"):
+        TDHModel(frontier_hops=-1)
+    ds = _sparse_heritages()
+    model0 = TDHModel(
+        max_iter=20, use_columnar=True, incremental=True, frontier_hops=0
+    )
+    warm = model0.fit(ds)
+    _add_random_answers(ds, 8, seed=2)
+    inc = model0.fit(ds, warm_start=warm)
+    # hops=0 re-converges only the touched objects themselves
+    assert inc.frontier_size is not None and inc.frontier_size <= 8
+
+
+# ---------------------------------------------------------------------------
+# the crowd loop end to end
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: TDHModel(max_iter=20, use_columnar=True, incremental=True),
+        lambda: DawidSkene(max_iter=20, use_columnar=True, incremental=True),
+    ],
+    ids=["TDH", "DS"],
+)
+def test_simulator_threads_warm_starts_into_incremental_models(factory):
+    from repro.assignment import MaxEntropyAssigner
+
+    ds = make_heritages(size=60, n_sources=120, seed=11)
+    simulator = CrowdSimulator(
+        ds, factory(), MaxEntropyAssigner(), make_worker_pool(4, seed=3), seed=5
+    )
+    history = simulator.run(rounds=3, tasks_per_worker=3)
+    assert len(history.records) == 4
+    assert all(np.isfinite(r.accuracy) for r in history.records)
+    assert history.final.answers_collected > 0
+
+
+def test_cli_exposes_the_incremental_knob():
+    from repro.experiments.__main__ import build_parser
+    from repro.experiments.common import FAST, inference_factories
+
+    args = build_parser().parse_args(["fig6", "--incremental"])
+    assert args.incremental is True
+    factories = inference_factories(FAST, engine="columnar", incremental=True)
+    for name in ("TDH", "LFC"):
+        assert factories[name]().incremental is True

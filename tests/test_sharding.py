@@ -254,3 +254,63 @@ def test_factories_and_cli_thread_jobs():
         assert factories[name]().n_jobs == 3
     args = build_parser().parse_args(["fig12", "--engine", "columnar", "--jobs", "4"])
     assert args.jobs == 4
+
+
+# ---------------------------------------------------------------------------
+# backend="auto" (1-core hosts / tiny workloads downgrade to serial)
+# ---------------------------------------------------------------------------
+def test_resolve_backend_passthrough_and_auto():
+    from repro.data import sharding
+    from repro.data.sharding import AUTO_MIN_PARALLEL_CLAIMS, resolve_backend
+
+    assert resolve_backend("serial") == "serial"
+    assert resolve_backend("thread", n_claims=1) == "thread"  # explicit wins
+    assert resolve_backend("process", n_claims=1) == "process"
+    # plenty of claims on a multicore machine -> thread
+    if (sharding.os.cpu_count() or 1) > 1:
+        assert resolve_backend("auto", AUTO_MIN_PARALLEL_CLAIMS) == "thread"
+    # tiny workload -> serial regardless of cores
+    assert resolve_backend("auto", AUTO_MIN_PARALLEL_CLAIMS - 1) == "serial"
+
+
+def test_resolve_backend_serial_on_single_core(monkeypatch):
+    from repro.data import sharding
+
+    monkeypatch.setattr(sharding.os, "cpu_count", lambda: 1)
+    assert sharding.resolve_backend("auto", 10**9) == "serial"
+    monkeypatch.setattr(sharding.os, "cpu_count", lambda: None)
+    assert sharding.resolve_backend("auto", 10**9) == "serial"
+
+
+def test_auto_downgrade_is_logged_exactly_once(monkeypatch, caplog):
+    import logging
+
+    from repro.data import sharding
+
+    monkeypatch.setattr(sharding, "_auto_downgrade_logged", False)
+    with caplog.at_level(logging.INFO, logger="repro.data.sharding"):
+        sharding.resolve_backend("auto", 10)
+        sharding.resolve_backend("auto", 10)  # second downgrade: silent
+    downgrades = [r for r in caplog.records if "downgraded to serial" in r.message]
+    assert len(downgrades) == 1
+
+
+def test_executor_and_plan_accept_auto(birthplaces):
+    executor = ParallelExecutor(2, backend="auto")
+    assert executor.backend in ("serial", "thread")
+    col = birthplaces.columnar()
+    shards, executor = parallel_plan(col, n_jobs=2, backend="auto")
+    expected = "thread" if (col.n_claims >= 8192 and (resolve_jobs(-1) > 1)) else "serial"
+    assert executor.backend == expected
+
+
+def test_auto_is_the_em_models_default_and_stays_bitwise(birthplaces):
+    for factory in (TDHModel, DawidSkene, ZenCrowd, Lfc):
+        assert factory().parallel_backend == "auto"
+    base = TDHModel(max_iter=8, use_columnar=True).fit(birthplaces)
+    explicit = TDHModel(
+        max_iter=8, use_columnar=True, n_jobs=2, parallel_backend="auto"
+    ).fit(birthplaces)
+    assert explicit.iterations == base.iterations
+    for obj in birthplaces.objects:
+        assert np.array_equal(explicit.confidences[obj], base.confidences[obj])
