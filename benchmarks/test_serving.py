@@ -1,0 +1,203 @@
+"""Serving-layer load benchmark: sustained write throughput + read latency.
+
+Drives a live :class:`~repro.serving.TruthService` (real worker task, real
+asyncio scheduling) over the same sparse 5,000-object substrate the
+incremental-EM benchmark uses — 5 uniform claims per object from a 15,000
+source pool, so a micro-batch's dirty frontier stays a small fraction of the
+dataset and the steady-state refits run on the incremental path.
+
+The load shape is deliberately *append-only*: each concurrent writer owns a
+disjoint partition of the objects and a private worker id, so no
+``(object, worker)`` pair repeats and the write stream never triggers the
+in-place-overwrite oplog clear (overwrite handling is covered functionally
+in ``tests/test_serving.py``; here we benchmark the hot path). Concurrent
+readers time ``get_truths`` over a fixed 32-object sample throughout the run.
+
+Results land in ``BENCH_service.json`` at the repo root (a separate artifact
+from ``BENCH_columnar.json`` — this one is service-level: writes/sec and
+read-latency percentiles, not per-engine speedups). Deterministic shape
+assertions (every write applied, truths match a cold fit of the identical
+final state) run in the default suite; the throughput/latency thresholds are
+``slow``-marked so only the non-blocking CI bench job can fail on a loaded
+runner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.data.model import Answer, Record, TruthDiscoveryDataset
+from repro.datasets.geography import make_geography, sample_truths
+from repro.datasets.synthetic import _claim_value, _wrong_pool
+from repro.inference import TDHModel
+from repro.serving import LatencyRecorder, TruthService
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+N_OBJECTS = 5000
+N_SOURCES = 15000
+CLAIMS_PER_OBJECT = 5
+N_WRITERS = 4
+WRITES_PER_WRITER = 48
+TOTAL_WRITES = N_WRITERS * WRITES_PER_WRITER
+BATCH_MAX = 64
+READ_SAMPLE = 32
+MIN_WRITES_PER_SEC = 20.0
+MAX_READ_P99_US = 50_000.0
+
+
+def make_sparse_dataset(seed: int = 29) -> TruthDiscoveryDataset:
+    """The incremental benchmark's substrate (duplicated: benchmarks/ is not
+    a package): uniform sparse claims, claimant degree ~O(1)."""
+    rng = np.random.default_rng(seed)
+    hierarchy = make_geography(
+        height=5, branching=(4, 6, 5, 4, 2), rng=rng, max_nodes=3000
+    )
+    truths = sample_truths(hierarchy, N_OBJECTS, rng, min_depth=2)
+    objects = [f"entity_{i}" for i in range(N_OBJECTS)]
+    gold = dict(zip(objects, truths))
+    pool = _wrong_pool(hierarchy, rng)
+    records: List[Record] = []
+    for obj, truth in zip(objects, truths):
+        misinformation = pool[int(rng.integers(len(pool)))]
+        chosen = rng.choice(N_SOURCES, size=CLAIMS_PER_OBJECT, replace=False)
+        for idx in chosen:
+            value = _claim_value(
+                truth, hierarchy, (0.7, 0.2, 0.1), misinformation, pool, rng
+            )
+            records.append(Record(obj, f"src_{idx}", value))
+    return TruthDiscoveryDataset(hierarchy, records, gold=gold, name="sparse5k")
+
+
+def writer_stream(dataset: TruthDiscoveryDataset, writer_id: int, seed: int = 41):
+    """``(object, worker, value)`` triples for one writer: a disjoint object
+    partition and a private worker id keep the combined stream append-only."""
+    rng = np.random.default_rng(seed + writer_id)
+    partition = dataset.objects[writer_id::N_WRITERS]
+    picks = rng.choice(len(partition), size=WRITES_PER_WRITER, replace=False)
+    stream = []
+    for i in picks:
+        obj = partition[int(i)]
+        candidates = sorted(dataset.candidates(obj), key=str)
+        truth = dataset.gold[obj]
+        value = (
+            truth
+            if truth in candidates and rng.random() < 0.7
+            else candidates[int(rng.integers(len(candidates)))]
+        )
+        stream.append((obj, f"bench_w{writer_id}", value))
+    return stream
+
+
+@pytest.fixture(scope="module")
+def serving_report() -> Dict[str, object]:
+    base = make_sparse_dataset()
+    mirror = make_sparse_dataset()
+    streams = [writer_stream(base, k) for k in range(N_WRITERS)]
+    read_latency = LatencyRecorder()
+    sample = base.objects[:: N_OBJECTS // READ_SAMPLE][:READ_SAMPLE]
+
+    async def load() -> Dict[str, object]:
+        service = TruthService(
+            base,
+            TDHModel(use_columnar=True, incremental=True),
+            max_pending=512,
+            batch_max=BATCH_MAX,
+        )
+        writing = True
+
+        async def writer(stream) -> None:
+            for n, (obj, worker, value) in enumerate(stream):
+                await service.append_answer(obj, worker, value)
+                if n % 8 == 0:
+                    await asyncio.sleep(0)
+
+        async def reader() -> None:
+            while writing:
+                t0 = time.perf_counter()
+                reads = service.get_truths(sample)
+                read_latency.record(time.perf_counter() - t0)
+                assert len({r.epoch for r in reads.values()}) == 1
+                await asyncio.sleep(0)
+
+        async with service:
+            t_start = time.perf_counter()
+            reader_task = asyncio.create_task(reader())
+            await asyncio.gather(*(writer(s) for s in streams))
+            final = await service.drain()
+            run_seconds = time.perf_counter() - t_start
+            writing = False
+            await reader_task
+        stats = service.stats()
+        return {
+            "stats": stats,
+            "final_epoch": final.epoch,
+            "final_truths": dict(final.truths),
+            "run_seconds": run_seconds,
+        }
+
+    outcome = asyncio.run(load())
+    stats = outcome["stats"]
+
+    for stream in streams:  # identical stream onto the mirror, then cold-fit it
+        for obj, worker, value in stream:
+            mirror.add_answer(Answer(obj, worker, value))
+    cold_truths = TDHModel(use_columnar=True).fit(mirror).truths()
+    final_truths = outcome["final_truths"]
+    agreement = float(
+        np.mean([final_truths[o] == t for o, t in cold_truths.items()])
+    )
+
+    latency = read_latency.summary()
+    report: Dict[str, object] = {
+        "objects": N_OBJECTS,
+        "claims": N_OBJECTS * CLAIMS_PER_OBJECT,
+        "writers": N_WRITERS,
+        "writes": TOTAL_WRITES,
+        "batch_max": BATCH_MAX,
+        "run_seconds": outcome["run_seconds"],
+        "writes_applied": stats["writes_applied"],
+        "writes_per_sec": stats["writes_applied"] / outcome["run_seconds"],
+        "batches": stats["batches"],
+        "final_epoch": outcome["final_epoch"],
+        "fits_incremental": stats["fits_incremental"],
+        "fits_cold": stats["fits_cold"],
+        "fit_seconds_total": stats["fit_seconds_total"],
+        "read_latency": {
+            "sample_objects": len(sample),
+            "count": latency.get("count", 0),
+            "p50_us": latency.get("p50_us"),
+            "p99_us": latency.get("p99_us"),
+        },
+        "truth_agreement": agreement,
+    }
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_every_write_applied_and_truths_match_cold_fit(serving_report):
+    """Deterministic half: the load was fully absorbed (no rejects, every
+    write published), the steady state ran incrementally, and the served
+    truths equal a cold fit of the identical final dataset."""
+    assert serving_report["writes_applied"] == TOTAL_WRITES
+    assert serving_report["final_epoch"] == serving_report["batches"]
+    assert serving_report["fits_incremental"] > 0
+    assert serving_report["truth_agreement"] >= 0.999
+    assert ARTIFACT.exists()
+    assert json.loads(ARTIFACT.read_text())["writes"] == TOTAL_WRITES
+
+
+@pytest.mark.slow  # wall-clock assertion: only the non-blocking CI bench job
+def test_sustained_throughput_and_read_latency(serving_report):
+    """Timing half: the service sustains the write load while readers stay
+    fast — thresholds are deliberately loose (shared CI runners)."""
+    assert serving_report["writes_per_sec"] >= MIN_WRITES_PER_SEC, serving_report
+    assert serving_report["read_latency"]["p99_us"] <= MAX_READ_P99_US, serving_report
+    assert serving_report["read_latency"]["count"] > 0

@@ -46,6 +46,7 @@ from .crowd import (
 )
 from .eval import evaluate, evaluate_multitruth, evaluate_numeric
 from .datasets import load_dataset, make_birthplaces, make_heritages
+from .serving import PublishedResult, TruthRead, TruthService
 
 __version__ = "1.0.0"
 

@@ -8,6 +8,10 @@ and writes the inferred truths (and optionally per-source trustworthiness):
         [--algorithm TDH] [--trust trust.csv]
 
 With ``--gold`` the three quality measures are printed after inference.
+
+``python -m repro serve [...]`` instead runs the always-on truth-service
+demo (``repro.serving.demo``): concurrent writers and lock-free readers over
+a background incremental-EM worker. See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -73,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from .serving.demo import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     dataset = load_dataset_csv(
         args.records,

@@ -280,6 +280,27 @@ class TruthDiscoveryDataset:
     # accessors
     # ------------------------------------------------------------------
     @property
+    def version(self) -> int:
+        """The mutation counter: bumped by every effective claim mutation.
+
+        This is the stamp carried by columnar encodings and published serving
+        snapshots — comparing a held stamp against the live counter is the
+        cheap dirty-set handoff (``dirty_objects_since`` names the objects a
+        window of appends touched).
+        """
+        return self._version
+
+    @property
+    def records_version(self) -> int:
+        """The record-mutation counter: bumped by ``add_record`` only.
+
+        Answers never move candidate slots, so state keyed by this counter
+        (warm starts, EAI likelihood tables) survives whole crowd rounds; see
+        :func:`repro.inference.base.validate_warm_start`.
+        """
+        return self._records_version
+
+    @property
     def objects(self) -> List[ObjectId]:
         """All objects with at least one record, in first-seen order."""
         return list(self._records_by_object)

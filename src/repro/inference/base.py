@@ -162,24 +162,44 @@ def validate_warm_start(
     """
     if warm_start is None:
         return None
+    label = repr(dataset.name) if getattr(dataset, "name", "") else "<unnamed>"
     if warm_start.dataset is not dataset:
         warnings.warn(
-            "warm_start was fitted on a different dataset object (a clone?);"
-            " its claimant/slot keys cannot be trusted — degrading to a cold"
-            " start",
+            warm_start_degradation_message(
+                label,
+                "it was fitted on a different dataset object (a clone?), so"
+                " its claimant/slot keys cannot be trusted",
+            ),
             RuntimeWarning,
             stacklevel=3,
         )
         return None
-    if warm_start.records_version != getattr(dataset, "_records_version", 0):
+    current = getattr(dataset, "_records_version", 0)
+    if warm_start.records_version != current:
         warnings.warn(
-            "warm_start predates a record mutation of this dataset; candidate"
-            " sets may have changed — degrading to a cold start",
+            warm_start_degradation_message(
+                label,
+                f"it was fitted at records_version {warm_start.records_version}"
+                f" but a record mutation moved the dataset to {current}, which"
+                " may have changed candidate sets",
+            ),
             RuntimeWarning,
             stacklevel=3,
         )
         return None
     return warm_start
+
+
+#: Shared prefix of every warm-start degradation warning. The serving layer's
+#: EM worker keys on it to count degradations without silencing unrelated
+#: RuntimeWarnings, and ``tests/test_incremental_em.py`` asserts the exact
+#: composed messages.
+WARM_START_DEGRADED_PREFIX = "warm_start degraded to a cold fit for dataset "
+
+
+def warm_start_degradation_message(dataset_label: str, reason: str) -> str:
+    """The exact warning text for a refused warm start (one format, two gates)."""
+    return f"{WARM_START_DEGRADED_PREFIX}{dataset_label}: {reason}"
 
 
 def initial_confidences(dataset: TruthDiscoveryDataset) -> Dict[ObjectId, np.ndarray]:

@@ -1,0 +1,29 @@
+"""Always-on serving: an asyncio truth service over versioned snapshots.
+
+Writers append claims/answers into a bounded queue; a single background EM
+worker batches them onto the live dataset (the columnar appender splices each
+batch into a new immutable snapshot), refits warm/incrementally, and
+publishes the result behind an atomic latest-snapshot pointer that readers
+hit lock-free. See ``docs/serving.md`` for the architecture, the
+staleness/consistency contract and a runnable round-trip.
+"""
+
+from .metrics import LatencyRecorder, ServiceMetrics, percentile
+from .service import ServiceClosed, ServiceNotStarted, TruthRead, TruthService
+from .snapshots import PublicationError, PublishedResult, SnapshotStore
+from .worker import EMWorker, Write
+
+__all__ = [
+    "TruthService",
+    "TruthRead",
+    "ServiceClosed",
+    "ServiceNotStarted",
+    "PublishedResult",
+    "SnapshotStore",
+    "PublicationError",
+    "EMWorker",
+    "Write",
+    "ServiceMetrics",
+    "LatencyRecorder",
+    "percentile",
+]

@@ -1,0 +1,147 @@
+"""``python -m repro serve``: a self-contained truth-service demo.
+
+Spins up a :class:`~repro.serving.service.TruthService` over a seeded
+synthetic dataset, drives it with concurrent writer and reader coroutines
+(answers on the hot path, an occasional new-source claim to exercise the
+cold-fit degradation), then prints a one-screen summary: throughput, fit
+mix, read-latency percentiles and the final snapshot stamps. Everything is
+seeded, so two runs with the same flags print the same truths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..datasets import make_heritages
+from ..inference.tdh import TDHModel
+from .metrics import LatencyRecorder
+from .service import TruthService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Demo: an always-on asyncio truth service over a synthetic"
+            " dataset — concurrent writers, lock-free readers, incremental"
+            " EM refits in a background worker."
+        ),
+    )
+    parser.add_argument("--objects", type=int, default=400, help="dataset size")
+    parser.add_argument("--writes", type=int, default=200, help="writes to send")
+    parser.add_argument(
+        "--claim-every",
+        type=int,
+        default=50,
+        help="every Nth write is a new-source claim (0 = answers only)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="dataset + traffic seed")
+    parser.add_argument("--max-pending", type=int, default=256, help="write-queue capacity")
+    parser.add_argument("--batch-max", type=int, default=64, help="writes folded per fit")
+    parser.add_argument("--max-iter", type=int, default=25, help="EM iteration cap")
+    return parser
+
+
+async def _run(args: argparse.Namespace) -> int:
+    # Heritages' Zipf long-tail sources keep claimant degree low, so a
+    # batch's dirty frontier stays a small fraction of the dataset and the
+    # demo genuinely exercises the incremental serving path (BirthPlaces'
+    # two near-complete sources would saturate every frontier).
+    dataset = make_heritages(
+        size=args.objects, n_sources=max(8, 2 * args.objects), seed=args.seed
+    )
+    model = TDHModel(use_columnar=True, incremental=True, max_iter=args.max_iter)
+    rng = np.random.default_rng(args.seed)
+    objects: List = list(dataset.objects)
+    read_latency = LatencyRecorder()
+    writing = True
+
+    service = TruthService(
+        dataset, model, max_pending=args.max_pending, batch_max=args.batch_max
+    )
+
+    async def writer() -> None:
+        nonlocal writing
+        for i in range(args.writes):
+            obj = objects[int(rng.integers(len(objects)))]
+            candidates = dataset.candidates(obj)
+            value = candidates[int(rng.integers(len(candidates)))]
+            if args.claim_every and i and i % args.claim_every == 0:
+                await service.append_claim(obj, f"demo_src_{i}", value)
+            else:
+                await service.append_answer(obj, f"demo_w{i % 5}", value)
+            if i % 8 == 0:
+                await asyncio.sleep(0)  # let the worker and readers interleave
+        writing = False
+
+    async def reader() -> None:
+        sample = objects[:: max(1, len(objects) // 16)]
+        while writing:
+            t0 = time.perf_counter()
+            reads = service.get_truths(sample)
+            read_latency.record(time.perf_counter() - t0)
+            assert len({r.epoch for r in reads.values()}) == 1  # one snapshot
+            await asyncio.sleep(0)
+
+    t_start = time.perf_counter()
+    async with service:
+        await asyncio.gather(writer(), reader())
+        final = await service.drain()
+    elapsed = time.perf_counter() - t_start
+
+    stats = service.stats()
+    latency = read_latency.summary()
+    sample_read = None
+    if objects:
+        snapshot = service.latest
+        sample_obj = objects[0]
+        sample_read = (sample_obj, snapshot.truths[sample_obj])
+    print(
+        "SERVING: writes={accepted} applied={applied} rejected={rejected}"
+        " batches={batches} epoch={epoch}".format(
+            accepted=stats["writes_accepted"],
+            applied=stats["writes_applied"],
+            rejected=stats["writes_rejected"],
+            batches=stats["batches"],
+            epoch=final.epoch,
+        )
+    )
+    print(
+        "SERVING: fits incremental={inc} cold={cold}"
+        " (warm-start degradations={deg}) total_fit={fit:.3f}s".format(
+            inc=stats["fits_incremental"],
+            cold=stats["fits_cold"],
+            deg=stats["warm_start_degradations"],
+            fit=stats["fit_seconds_total"],
+        )
+    )
+    throughput = stats["writes_applied"] / elapsed if elapsed > 0 else float("inf")
+    print(
+        "SERVING: {writes:.1f} writes/sec over {secs:.2f}s;"
+        " read p50={p50:.1f}us p99={p99:.1f}us ({reads} multi-reads)".format(
+            writes=throughput,
+            secs=elapsed,
+            p50=latency.get("p50_us", float("nan")),
+            p99=latency.get("p99_us", float("nan")),
+            reads=latency.get("count", 0),
+        )
+    )
+    if sample_read is not None:
+        print(f"SERVING: truth({sample_read[0]!r}) = {sample_read[1]!r}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(_run(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro serve`
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Serving metrics: counters the service/worker maintain, latency percentiles.
+
+Everything here is plain-Python and allocation-light on the hot paths — a
+read bumps one integer, a latency sample appends one float — because the
+metrics sit inside the lock-free read path and the per-batch worker loop.
+The percentile math matches ``np.percentile``'s default linear interpolation
+(the benchmark's p50/p99 numbers are therefore directly comparable across
+runs and tools).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolated percentile of ``samples`` (``q`` in [0, 100])."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+@dataclass
+class LatencyRecorder:
+    """Bounded reservoir of latency samples with percentile summaries.
+
+    Samples are wall-clock seconds; :meth:`summary` reports microseconds
+    (the natural unit for lock-free snapshot reads). Once ``cap`` samples
+    are held, further samples are dropped but still counted — load tests
+    keep O(1) memory while ``count`` stays exact.
+    """
+
+    cap: int = 100_000
+    samples: List[float] = field(default_factory=list)
+    count: int = 0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        if len(self.samples) < self.cap:
+            self.samples.append(seconds)
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, mean_us, p50_us, p99_us, max_us}`` of the reservoir."""
+        if not self.samples:
+            return {"count": 0}
+        arr = np.asarray(self.samples, dtype=float) * 1e6
+        return {
+            "count": self.count,
+            "mean_us": float(arr.mean()),
+            "p50_us": float(np.percentile(arr, 50)),
+            "p99_us": float(np.percentile(arr, 99)),
+            "max_us": float(arr.max()),
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters for one :class:`~repro.serving.service.TruthService`.
+
+    Write-side counters move in a strict order — ``writes_accepted`` at
+    enqueue, then exactly one of ``writes_applied`` / ``writes_rejected`` when
+    the worker consumes the write — so ``accepted - applied - rejected`` is
+    the number of writes still in flight (queued or mid-batch). Per-read
+    staleness is derived against the *published* stamp instead
+    (:attr:`~repro.serving.snapshots.PublishedResult.applied_writes`), which
+    also counts writes applied to the dataset but not yet visible to readers.
+    """
+
+    writes_accepted: int = 0
+    writes_applied: int = 0
+    writes_rejected: int = 0
+    batches: int = 0
+    last_batch_size: int = 0
+    fits_cold: int = 0
+    fits_incremental: int = 0
+    warm_start_degradations: int = 0
+    fit_seconds_total: float = 0.0
+    last_fit_seconds: float = 0.0
+    reads: int = 0
+    queue_high_watermark: int = 0
+
+    @property
+    def writes_acked(self) -> int:
+        """Writes fully resolved (applied or rejected)."""
+        return self.writes_applied + self.writes_rejected
+
+    @property
+    def fits(self) -> int:
+        return self.fits_cold + self.fits_incremental
+
+    def note_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_high_watermark:
+            self.queue_high_watermark = depth
+
+    def note_fit(self, seconds: float, incremental: bool, degradations: int) -> None:
+        if incremental:
+            self.fits_incremental += 1
+        else:
+            self.fits_cold += 1
+        self.warm_start_degradations += degradations
+        self.fit_seconds_total += seconds
+        self.last_fit_seconds = seconds
+
+    def snapshot(self, extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """A plain-dict view (stable keys) for logging / JSON artifacts."""
+        out: Dict[str, object] = {
+            "writes_accepted": self.writes_accepted,
+            "writes_applied": self.writes_applied,
+            "writes_rejected": self.writes_rejected,
+            "batches": self.batches,
+            "last_batch_size": self.last_batch_size,
+            "fits_cold": self.fits_cold,
+            "fits_incremental": self.fits_incremental,
+            "warm_start_degradations": self.warm_start_degradations,
+            "fit_seconds_total": self.fit_seconds_total,
+            "last_fit_seconds": self.last_fit_seconds,
+            "reads": self.reads,
+            "queue_high_watermark": self.queue_high_watermark,
+        }
+        if extra:
+            out.update(extra)
+        return out

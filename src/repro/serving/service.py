@@ -1,0 +1,336 @@
+"""`TruthService`: the always-on asyncio truth-serving layer.
+
+The per-script lifecycle everywhere else in this package is *load → fit →
+report*. This module turns the same engine into a long-running service:
+
+```
+ writers ──append_claim/append_answer──▶ asyncio.Queue (maxsize = backpressure)
+                                            │  micro-batches
+                                            ▼
+                                    EMWorker (one task)
+                           apply → warm/incremental fit → publish
+                                            │
+                                            ▼
+                              SnapshotStore.latest  (atomic pointer)
+                                            ▲
+ readers ◀──get_truth/get_truths────────────┘   lock-free, version-stamped
+```
+
+Consistency contract (see ``docs/serving.md`` for the full statement):
+
+* **atomic snapshots** — a read resolves entirely against one immutable
+  :class:`~repro.serving.snapshots.PublishedResult`; a multi-object
+  ``get_truths`` never mixes epochs;
+* **monotonic epochs** — successive reads observe non-decreasing
+  ``epoch`` / ``dataset_version`` stamps (enforced at publish);
+* **read-your-writes-eventually** — an accepted write is visible to readers
+  after its ticket resolves, and after ``drain()`` returns every accepted
+  write is visible (or rejected onto its ticket);
+* **bounded ingest** — at most ``max_pending`` writes queue ahead of the EM
+  worker; beyond that ``append_*`` awaits, which is the backpressure that
+  keeps a write burst from outrunning fits unboundedly.
+
+Reads are synchronous plain calls (no ``await``): the hot path is a dict
+lookup on the latest snapshot plus staleness bookkeeping, so readers never
+contend with the worker for anything but the GIL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import inspect
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..data.model import (
+    Answer,
+    ObjectId,
+    Record,
+    SourceId,
+    TruthDiscoveryDataset,
+    WorkerId,
+)
+from ..hierarchy.tree import Value
+from ..inference.base import TruthInferenceAlgorithm
+from ..inference.tdh import TDHModel
+from .metrics import ServiceMetrics
+from .snapshots import PublishedResult, SnapshotStore
+from .worker import EMWorker, Write
+
+
+class ServiceNotStarted(RuntimeError):
+    """A read or write arrived before ``start()`` published epoch 0."""
+
+
+class ServiceClosed(RuntimeError):
+    """A write arrived after ``stop()`` began refusing new writes."""
+
+
+@dataclass(frozen=True)
+class TruthRead:
+    """One lock-free read: the truth plus the stamps that date it.
+
+    ``lag_writes`` is the number of writes the service had accepted but not
+    yet published when the read happened — 0 means the reader saw a fully
+    caught-up snapshot. ``staleness_seconds`` is the snapshot's age.
+    """
+
+    object: ObjectId
+    value: Value
+    confidence: float
+    epoch: int
+    dataset_version: int
+    records_version: int
+    incremental: bool
+    lag_writes: int
+    staleness_seconds: float
+
+
+class TruthService:
+    """Always-on truth discovery over one live dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The live dataset; must already hold at least one record (the service
+        appends onto it, it does not bootstrap an empty corpus).
+    model:
+        Any truth-inference algorithm. Defaults to
+        ``TDHModel(use_columnar=True, incremental=True)`` — the dirty-frontier
+        configuration, so steady-state answer traffic costs O(frontier) per
+        batch. Models whose ``fit`` accepts ``warm_start`` are warm-started
+        from the latest publish; others are simply refitted.
+    max_pending:
+        Write-queue capacity — the backpressure knob. ``append_*`` awaits
+        once this many writes are queued ahead of the EM worker.
+    batch_max / batch_wait:
+        Micro-batching: up to ``batch_max`` queued writes are folded into one
+        fit; ``batch_wait`` seconds of linger (0 = none) lets sparse writers
+        coalesce instead of paying one fit per write.
+    history:
+        How many published snapshots the store retains for inspection.
+    """
+
+    def __init__(
+        self,
+        dataset: TruthDiscoveryDataset,
+        model: Optional[TruthInferenceAlgorithm] = None,
+        *,
+        max_pending: int = 1024,
+        batch_max: int = 256,
+        batch_wait: float = 0.0,
+        history: int = 8,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._dataset = dataset
+        self._model = model if model is not None else TDHModel(
+            use_columnar=True, incremental=True
+        )
+        self._accepts_warm_start = (
+            "warm_start" in inspect.signature(self._model.fit).parameters
+        )
+        self._max_pending = max_pending
+        self._batch_max = batch_max
+        self._batch_wait = batch_wait
+        self._store = SnapshotStore(history=history)
+        self.metrics = ServiceMetrics()
+        self._queue: Optional["asyncio.Queue[Write]"] = None
+        self.worker: Optional[EMWorker] = None
+        self._worker_task: Optional["asyncio.Task[None]"] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, *, run_worker: bool = True) -> "TruthService":
+        """Publish the epoch-0 cold fit and (by default) spawn the worker.
+
+        ``run_worker=False`` leaves the batch loop unscheduled so tests can
+        drive it deterministically via ``service.worker.step()``.
+        """
+        if self._started:
+            raise RuntimeError("TruthService.start() called twice")
+        if self._closed:
+            raise ServiceClosed("service already stopped")
+        if not self._dataset.objects:
+            raise ValueError("TruthService needs a dataset with at least one record")
+        self._queue = asyncio.Queue(maxsize=self._max_pending)
+        self.worker = EMWorker(
+            self._dataset,
+            self._model,
+            self._queue,
+            self._store,
+            self.metrics,
+            accepts_warm_start=self._accepts_warm_start,
+            batch_max=self._batch_max,
+            batch_wait=self._batch_wait,
+        )
+        # Epoch 0 before any write is accepted: readers never see "no data".
+        self.worker.fit_and_publish()
+        self._started = True
+        if run_worker:
+            self._worker_task = asyncio.create_task(
+                self.worker.run(), name="truth-service-em-worker"
+            )
+        return self
+
+    async def drain(self) -> PublishedResult:
+        """Wait until every accepted write is published (or rejected).
+
+        Requires the worker task (or an external driver calling
+        ``worker.step()``) to be consuming the queue. Returns the snapshot
+        that is latest once the queue is fully processed.
+        """
+        self._require_started()
+        await self._queue.join()
+        return self._store.latest
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Refuse new writes, optionally drain, then cancel the worker."""
+        if not self._started or self._queue is None:
+            self._closed = True
+            return
+        self._closed = True
+        if drain and (self._worker_task is not None and not self._worker_task.done()):
+            await self._queue.join()
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._worker_task
+            self._worker_task = None
+
+    async def __aenter__(self) -> "TruthService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        # On a clean exit drain first (read-your-writes for the block's
+        # writers); on an exception just tear down.
+        await self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    async def append_claim(
+        self, obj: ObjectId, source: SourceId, value: Value
+    ) -> "asyncio.Future[int]":
+        """Enqueue a source claim; returns the write's awaitable ticket.
+
+        Note a record append moves ``records_version``, so the covering fit
+        runs cold (the warm-start gate refuses the seed — counted in
+        ``metrics.warm_start_degradations``, not warned). Claims are the
+        slow, rare path; answers are the hot one.
+        """
+        return await self._enqueue(Write(Record(obj, source, value)))
+
+    async def append_answer(
+        self, obj: ObjectId, worker: WorkerId, value: Value
+    ) -> "asyncio.Future[int]":
+        """Enqueue a crowd answer; returns the write's awaitable ticket.
+
+        Validation happens at apply time against the dataset state the write
+        actually lands on (an answer must name an existing candidate value);
+        a rejected write resolves its ticket with the ``DatasetError``.
+        """
+        return await self._enqueue(Write(Answer(obj, worker, value)))
+
+    async def _enqueue(self, write: Write) -> "asyncio.Future[int]":
+        self._require_started()
+        if self._closed:
+            raise ServiceClosed("service is stopping; write refused")
+        write.ticket = asyncio.get_running_loop().create_future()
+        await self._queue.put(write)  # backpressure point
+        self.metrics.writes_accepted += 1
+        self.metrics.note_queue_depth(self._queue.qsize())
+        return write.ticket
+
+    # ------------------------------------------------------------------
+    # read side (synchronous, lock-free)
+    # ------------------------------------------------------------------
+    @property
+    def latest(self) -> PublishedResult:
+        """The latest published snapshot (raises before ``start()``)."""
+        self._require_started()
+        return self._store.latest
+
+    @property
+    def history(self):
+        """Recent publishes, oldest first (bounded by ``history``)."""
+        return self._store.history
+
+    def get_truth(self, obj: ObjectId) -> TruthRead:
+        """Resolve one object's truth against the latest snapshot."""
+        return self._read(self._snapshot(), obj)
+
+    def get_truths(
+        self, ids: Optional[Iterable[ObjectId]] = None
+    ) -> Dict[ObjectId, TruthRead]:
+        """Resolve many truths against ONE snapshot (never mixed epochs).
+
+        ``ids=None`` reads every object the snapshot covers.
+        """
+        snapshot = self._snapshot()
+        if ids is None:
+            ids = snapshot.truths.keys()
+        return {obj: self._read(snapshot, obj) for obj in ids}
+
+    def _snapshot(self) -> PublishedResult:
+        self._require_started()
+        # The single pointer load every read in a call resolves against.
+        return self._store.latest
+
+    def _read(self, snapshot: PublishedResult, obj: ObjectId) -> TruthRead:
+        try:
+            value = snapshot.truths[obj]
+        except KeyError:
+            raise KeyError(
+                f"object {obj!r} is not covered by snapshot epoch"
+                f" {snapshot.epoch} (it may have been appended after the"
+                " latest publish)"
+            ) from None
+        self.metrics.reads += 1
+        lag = (
+            self.metrics.writes_accepted
+            - self.metrics.writes_rejected
+            - snapshot.applied_writes
+        )
+        return TruthRead(
+            object=obj,
+            value=value,
+            confidence=snapshot.result.confidence(obj).get(value, 0.0),
+            epoch=snapshot.epoch,
+            dataset_version=snapshot.dataset_version,
+            records_version=snapshot.records_version,
+            incremental=snapshot.incremental,
+            lag_writes=max(0, lag),
+            staleness_seconds=snapshot.age_seconds(),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Metrics plus the latest snapshot's stamps, as one plain dict."""
+        latest = self._store.latest
+        extra: Dict[str, object] = {
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "started": self._started,
+            "closed": self._closed,
+        }
+        if latest is not None:
+            extra.update(
+                epoch=latest.epoch,
+                dataset_version=latest.dataset_version,
+                records_version=latest.records_version,
+                frontier_size=latest.frontier_size,
+                snapshot_age_seconds=latest.age_seconds(),
+            )
+        return self.metrics.snapshot(extra)
+
+    def _require_started(self) -> None:
+        if not self._started or self._store.latest is None:
+            raise ServiceNotStarted(
+                "TruthService.start() has not published an initial snapshot yet"
+            )

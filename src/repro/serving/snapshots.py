@@ -1,0 +1,130 @@
+"""Versioned publication: immutable published results behind an atomic pointer.
+
+The serving layer's read side is built on one invariant the rest of the
+codebase already provides: a fitted :class:`~repro.inference.base.
+InferenceResult` over an immutable columnar snapshot is never mutated after
+the fit returns. Publication therefore needs no reader locks at all — the
+EM worker wraps each fit in a :class:`PublishedResult` (truths materialised
+once, version stamps attached) and swaps it into :attr:`SnapshotStore.latest`
+with a single attribute store, which is atomic under the interpreter. Readers
+grab the pointer once per call and resolve everything against that one frozen
+object, so a concurrent publish can never produce a torn read: a reader sees
+the old snapshot in full or the new snapshot in full, nothing in between.
+
+Version stamps make staleness *observable* instead of hidden: every snapshot
+carries the dataset mutation counter (``dataset_version``), the record-only
+counter (``records_version``) and a densely increasing ``epoch``.
+:meth:`SnapshotStore.publish` enforces that epochs increase by exactly one
+and dataset versions never regress — the monotonicity contract the
+concurrent-reader tests assert from the outside.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..data.model import ObjectId
+from ..hierarchy.tree import Value
+from ..inference.base import InferenceResult
+
+
+class PublicationError(RuntimeError):
+    """An attempted publish broke the epoch/version monotonicity contract."""
+
+
+@dataclass(frozen=True)
+class PublishedResult:
+    """One immutable published fit: truths plus the stamps that date them.
+
+    Attributes
+    ----------
+    result:
+        The fitted inference result (confidences, trust state, ...).
+    truths:
+        ``object -> value`` materialised once at publish time so reads are
+        dict lookups. Treated as immutable after construction.
+    epoch:
+        Dense publication counter: the initial fit publishes epoch 0, every
+        later publish increments by exactly one.
+    dataset_version / records_version:
+        The dataset's mutation counters at fit time
+        (:attr:`~repro.data.model.TruthDiscoveryDataset.version` /
+        :attr:`~repro.data.model.TruthDiscoveryDataset.records_version`).
+    applied_writes:
+        Cumulative count of service writes covered by this snapshot; the
+        service derives per-read staleness (``lag_writes``) from it.
+    incremental:
+        ``True`` when the fit was served by the dirty-frontier path
+        (``frontier_size`` then says how many objects re-converged).
+    fit_seconds:
+        Wall-clock cost of the fit behind this snapshot.
+    published_at:
+        ``time.monotonic()`` at publish; :meth:`age_seconds` measures from it.
+    """
+
+    result: InferenceResult
+    truths: Dict[ObjectId, Value]
+    epoch: int
+    dataset_version: int
+    records_version: int
+    applied_writes: int
+    incremental: bool
+    frontier_size: Optional[int]
+    fit_seconds: float
+    published_at: float
+
+    def age_seconds(self) -> float:
+        """Seconds since this snapshot was published."""
+        return time.monotonic() - self.published_at
+
+
+class SnapshotStore:
+    """Atomic latest-:class:`PublishedResult` pointer plus a bounded history.
+
+    ``latest`` is the lock-free read side: a plain attribute load, safe from
+    any coroutine (or thread — snapshots are immutable). ``publish`` is only
+    ever called by the single EM worker, which is what lets the monotonicity
+    checks be plain comparisons instead of a compare-and-swap loop.
+    """
+
+    def __init__(self, history: int = 8) -> None:
+        self._latest: Optional[PublishedResult] = None
+        self._history: Deque[PublishedResult] = deque(maxlen=max(1, history))
+
+    @property
+    def latest(self) -> Optional[PublishedResult]:
+        """The newest snapshot, or ``None`` before the first publish."""
+        return self._latest
+
+    @property
+    def history(self) -> List[PublishedResult]:
+        """The most recent publishes, oldest first (bounded ring)."""
+        return list(self._history)
+
+    def publish(self, snapshot: PublishedResult) -> PublishedResult:
+        """Swap ``snapshot`` in as the latest, enforcing monotonicity."""
+        latest = self._latest
+        if latest is None:
+            if snapshot.epoch != 0:
+                raise PublicationError(
+                    f"first publish must be epoch 0, got {snapshot.epoch}"
+                )
+        else:
+            if snapshot.epoch != latest.epoch + 1:
+                raise PublicationError(
+                    f"epoch must advance by exactly 1 (latest {latest.epoch},"
+                    f" got {snapshot.epoch})"
+                )
+            if snapshot.dataset_version < latest.dataset_version:
+                raise PublicationError(
+                    f"dataset_version regressed: {latest.dataset_version} ->"
+                    f" {snapshot.dataset_version}"
+                )
+        self._history.append(snapshot)
+        # The publication point: one atomic store. Readers holding the old
+        # pointer keep a fully consistent (merely older) view.
+        self._latest = snapshot
+        return snapshot

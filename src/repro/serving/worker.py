@@ -1,0 +1,196 @@
+"""The background EM worker: batch-apply writes, warm-refit, publish.
+
+One worker per service, one coroutine, no threads: every mutation of the
+dataset and every EM fit happens inside this single task, which is what makes
+the service deterministic under a fixed write order and lets the reader side
+stay lock-free (readers only ever touch immutable published snapshots).
+
+Per batch the worker does exactly four things:
+
+1. drain a micro-batch off the write queue (first write awaited, the rest
+   taken greedily up to ``batch_max``, with an optional ``batch_wait``
+   linger so sparse writers still amortise one fit over several writes);
+2. apply each write through the ordinary dataset mutators — an invalid
+   write (:class:`~repro.data.model.DatasetError`) is rejected onto its
+   ticket without poisoning the batch;
+3. refit: ``fit(dataset, warm_start=previous_published)``. With an
+   incremental-capable model this is the PR-6 dirty-frontier path — the
+   appender has already spliced the delta into a new immutable snapshot, and
+   the oplog names the dirty objects — and it *degrades, never breaks*:
+   record appends bump ``records_version`` so the warm-start gate refuses
+   the seed with a :class:`RuntimeWarning` (counted here, not surfaced) and
+   the fit runs cold; saturated frontiers delegate to the full warm fit.
+4. publish the result as the next :class:`~repro.serving.snapshots.
+   PublishedResult` epoch and resolve the batch's tickets with it.
+
+``queue.task_done`` is called once per write *after* its batch's publish, so
+``queue.join()`` is exactly the service's drain barrier: when it returns,
+every accepted write is visible to readers (or rejected onto its ticket).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..data.model import Answer, DatasetError, Record, TruthDiscoveryDataset
+from ..inference.base import WARM_START_DEGRADED_PREFIX, TruthInferenceAlgorithm
+from .metrics import ServiceMetrics
+from .snapshots import PublishedResult, SnapshotStore
+
+
+@dataclass
+class Write:
+    """One queued mutation plus the ticket its writer may await.
+
+    The ticket resolves to the publishing epoch once the write is readable,
+    or raises the :class:`DatasetError` that rejected it. Awaiting is
+    optional — valid writes resolve with a result, which asyncio never
+    complains about dropping.
+    """
+
+    claim: Union[Record, Answer]
+    ticket: "asyncio.Future[int]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def apply(self, dataset: TruthDiscoveryDataset) -> None:
+        if isinstance(self.claim, Record):
+            dataset.add_record(self.claim)
+        else:
+            dataset.add_answer(self.claim)
+
+
+class EMWorker:
+    """Single-consumer batch loop between the write queue and the store."""
+
+    def __init__(
+        self,
+        dataset: TruthDiscoveryDataset,
+        model: TruthInferenceAlgorithm,
+        queue: "asyncio.Queue[Write]",
+        store: SnapshotStore,
+        metrics: ServiceMetrics,
+        *,
+        accepts_warm_start: bool,
+        batch_max: int = 256,
+        batch_wait: float = 0.0,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self._dataset = dataset
+        self._model = model
+        self._queue = queue
+        self._store = store
+        self._metrics = metrics
+        self._accepts_warm_start = accepts_warm_start
+        self._batch_max = batch_max
+        self._batch_wait = batch_wait
+
+    # ------------------------------------------------------------------
+    # fitting & publication (synchronous: runs inline in the worker task)
+    # ------------------------------------------------------------------
+    def fit_and_publish(self) -> PublishedResult:
+        """Refit the live dataset warm-started from the latest publish.
+
+        Also used synchronously by ``TruthService.start`` for the epoch-0
+        cold fit, before the worker task exists.
+        """
+        previous = self._store.latest
+        warm = previous.result if (previous and self._accepts_warm_start) else None
+        t0 = time.perf_counter()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            if self._accepts_warm_start:
+                result = self._model.fit(self._dataset, warm_start=warm)
+            else:
+                result = self._model.fit(self._dataset)
+        fit_seconds = time.perf_counter() - t0
+        # Warm-start degradations are *normal operation* here (every record
+        # append triggers one); count them instead of spamming the log, but
+        # re-emit anything else the fit warned about.
+        degradations = 0
+        for caught_warning in caught:
+            message = str(caught_warning.message)
+            if issubclass(
+                caught_warning.category, RuntimeWarning
+            ) and message.startswith(WARM_START_DEGRADED_PREFIX):
+                degradations += 1
+            else:
+                warnings.warn_explicit(
+                    caught_warning.message,
+                    caught_warning.category,
+                    caught_warning.filename,
+                    caught_warning.lineno,
+                )
+        frontier_size = getattr(result, "frontier_size", None)
+        self._metrics.note_fit(
+            fit_seconds, incremental=frontier_size is not None, degradations=degradations
+        )
+        snapshot = PublishedResult(
+            result=result,
+            truths=result.truths(),
+            epoch=previous.epoch + 1 if previous else 0,
+            dataset_version=self._dataset.version,
+            records_version=self._dataset.records_version,
+            applied_writes=self._metrics.writes_applied,
+            incremental=frontier_size is not None,
+            frontier_size=frontier_size,
+            fit_seconds=fit_seconds,
+            published_at=time.monotonic(),
+        )
+        return self._store.publish(snapshot)
+
+    # ------------------------------------------------------------------
+    # the batch loop
+    # ------------------------------------------------------------------
+    async def _take_batch(self) -> List[Write]:
+        first = await self._queue.get()
+        batch = [first]
+        if self._batch_wait > 0:
+            await asyncio.sleep(self._batch_wait)
+        while len(batch) < self._batch_max and not self._queue.empty():
+            batch.append(self._queue.get_nowait())
+        return batch
+
+    async def step(self) -> Optional[PublishedResult]:
+        """Process one batch: apply, refit, publish, resolve tickets.
+
+        Returns the published snapshot, or ``None`` when every write in the
+        batch was rejected (nothing changed, so nothing is re-fitted).
+        Exposed so tests can drive the worker deterministically
+        (``TruthService.start(run_worker=False)``).
+        """
+        batch = await self._take_batch()
+        try:
+            applied: List[Write] = []
+            for write in batch:
+                try:
+                    write.apply(self._dataset)
+                except DatasetError as exc:
+                    self._metrics.writes_rejected += 1
+                    if not write.ticket.done():
+                        write.ticket.set_exception(exc)
+                else:
+                    self._metrics.writes_applied += 1
+                    applied.append(write)
+            self._metrics.batches += 1
+            self._metrics.last_batch_size = len(batch)
+            if not applied:
+                return None
+            snapshot = self.fit_and_publish()
+            for write in applied:
+                if not write.ticket.done():  # a writer may have cancelled
+                    write.ticket.set_result(snapshot.epoch)
+            return snapshot
+        finally:
+            # After publication, so queue.join() == "all accepted writes are
+            # readable or rejected" — the drain barrier.
+            for _ in batch:
+                self._queue.task_done()
+
+    async def run(self) -> None:
+        """The worker task body: loop until cancelled."""
+        while True:
+            await self.step()

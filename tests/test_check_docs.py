@@ -1,0 +1,139 @@
+"""The docs checker itself: failure reporting, skipping, exit codes.
+
+``tests/test_docs.py`` runs ``scripts/check_docs.py`` over the *real* docs
+tree; this module points the checker at synthetic trees (by monkeypatching
+its ``REPO_ROOT`` module global) to pin down the behaviors the real tree
+can't exercise without breaking itself:
+
+* a failing python snippet is reported with its ``file:line`` anchor;
+* fenced blocks in other languages (text diagrams, yaml, output transcripts)
+  are skipped, not executed;
+* python blocks within one file share a namespace, across files they don't;
+* unparseable / unknown / non-checkable experiments-CLI lines each produce
+  a distinct failure;
+* ``main()`` propagates failures as exit code 1, a healthy tree as 0, and a
+  tree with nothing to check as 1 (the vacuous-checker guard).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+GOOD_CLI = "PYTHONPATH=src python -m repro.experiments table3\n"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_under_test", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def make_tree(tmp_path, docs):
+    """A minimal repo tree: ``README.md`` plus ``docs/<name>: text``."""
+    (tmp_path / "docs").mkdir(exist_ok=True)
+    (tmp_path / "README.md").write_text("# stub\n")
+    for name, text in docs.items():
+        (tmp_path / "docs" / name).write_text(text)
+    return tmp_path
+
+
+def checker_on(monkeypatch, tmp_path, docs):
+    checker = load_checker()
+    monkeypatch.setattr(checker, "REPO_ROOT", make_tree(tmp_path, docs))
+    return checker
+
+
+def test_failing_snippet_reported_with_file_and_line(monkeypatch, tmp_path):
+    doc = "intro\n\n```python\nx = 1\n```\n\nmore prose\n\n```python\nboom()\n```\n"
+    checker = checker_on(monkeypatch, tmp_path, {"guide.md": doc})
+    failures = checker.check_python_blocks()
+    assert len(failures) == 1
+    # The failing fence opens on line 9 of the file; the passing one doesn't report.
+    assert failures[0].startswith("guide.md:9: python snippet failed:")
+    assert "boom" in failures[0]
+
+
+def test_non_python_fences_are_skipped(monkeypatch, tmp_path):
+    # ``text`` fences (the architecture diagrams) and ``yaml`` must never
+    # be exec'd even when their bodies are nonsense as python.
+    doc = (
+        "```text\nwriters --> queue --> worker\n```\n"
+        "```yaml\n- not: python\n```\n"
+        "```python\nok = True\n```\n"
+    )
+    checker = checker_on(monkeypatch, tmp_path, {"d.md": doc})
+    assert checker.check_python_blocks() == []
+    f = tmp_path / "docs" / "d.md"
+    assert [body for _, body in checker.fenced_blocks(f, "python")] == ["ok = True\n"]
+    assert len(list(checker.fenced_blocks(f, "text"))) == 1
+
+
+def test_blocks_share_namespace_within_file_not_across(monkeypatch, tmp_path):
+    docs = {
+        "a.md": "```python\nshared = 41\n```\n```python\nassert shared == 41\n```\n",
+        "b.md": "```python\nassert 'shared' not in dir()\n```\n",
+    }
+    checker = checker_on(monkeypatch, tmp_path, docs)
+    assert checker.check_python_blocks() == []
+
+
+def test_cli_line_failure_modes(monkeypatch, tmp_path):
+    doc = (
+        "```bash\n"
+        + GOOD_CLI  # parses: counted, no failure
+        + "python -m repro.experiments no_such_exp\n"  # rejected by the parser
+        + "python -m repro.experiments table3 --no-such-flag\n"  # doesn't parse
+        + "python -m repro.experiments.main table3  # not the checkable form\n"
+        + "echo unrelated line without the marker\n"  # ignored entirely
+        + "```\n"
+    )
+    checker = checker_on(monkeypatch, tmp_path, {"guide.md": doc})
+    failures, checked = checker.check_cli_lines()
+    assert checked == 3  # good + unknown + unparseable reached the parser
+    assert len(failures) == 3
+    # The parser enforces the experiment-name choices itself, so both the
+    # unknown name and the unknown flag surface as parse failures.
+    assert sum("no longer parses" in f for f in failures) == 2
+    assert any("no_such_exp" in f for f in failures)
+    assert sum("not in checkable form" in f for f in failures) == 1
+    # Every failure is anchored to guide.md with a line number.
+    assert all(f.startswith("guide.md:") for f in failures)
+
+
+def test_main_exit_codes(monkeypatch, tmp_path, capsys):
+    healthy = {
+        "guide.md": "```python\nvalue = 2 + 2\n```\n```bash\n" + GOOD_CLI + "```\n"
+    }
+    checker = checker_on(monkeypatch, tmp_path, healthy)
+    assert checker.main() == 0
+    assert "docs OK (1 python snippet(s) executed, 1 CLI line(s) parsed)" in (
+        capsys.readouterr().out
+    )
+
+    broken = {
+        "guide.md": "```python\nraise ValueError('rotted')\n```\n```bash\n"
+        + GOOD_CLI
+        + "```\n"
+    }
+    checker = checker_on(monkeypatch, tmp_path, broken)
+    assert checker.main() == 1
+    out = capsys.readouterr().out
+    assert "FAIL guide.md:1: python snippet failed:" in out
+    assert "rotted" in out
+
+
+def test_main_vacuous_trees_fail(monkeypatch, tmp_path, capsys):
+    # No python snippets AND no CLI lines: both guards trip.
+    checker = checker_on(monkeypatch, tmp_path, {"guide.md": "prose only\n"})
+    assert checker.main() == 1
+    out = capsys.readouterr().out
+    assert "no python snippets" in out
+    assert "no experiments-CLI lines" in out

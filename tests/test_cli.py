@@ -114,3 +114,32 @@ class TestCli:
             )
             assert code == 0, name
             assert len(_read_truths(output)) == 3, name
+
+
+class TestServeSubcommand:
+    def test_serve_runs_demo_and_reports(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--objects", "40",
+                "--writes", "24",
+                "--batch-max", "8",
+                "--max-iter", "5",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("SERVING:") == 4
+        assert "writes=24" in out
+        assert "read p50=" in out
+
+    def test_serve_is_deterministic_under_a_fixed_seed(self, capsys):
+        argv = ["serve", "--objects", "30", "--writes", "10", "--max-iter", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Timing lines differ; the final truth line must not.
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+        assert first.splitlines()[-1].startswith("SERVING: truth(")

@@ -171,3 +171,31 @@ class TestUtilities:
         assert stats["records"] == 6
         assert stats["objects_in_OH"] == 1
         assert stats["mean_candidates"] == pytest.approx((3 + 1 + 1) / 3)
+
+
+class TestVersionCounters:
+    """The public mutation counters the serving layer stamps snapshots with."""
+
+    def test_construction_counts_each_ingested_record(self, hierarchy):
+        # The constructor routes records through add_record, so both
+        # counters start at the ingested-record count, not at zero.
+        ds = TruthDiscoveryDataset(hierarchy, [Record("o1", "s1", "NYC")])
+        assert ds.version == 1
+        assert ds.records_version == 1
+
+    def test_answer_bumps_version_but_not_records_version(self, dataset):
+        v0, r0 = dataset.version, dataset.records_version
+        dataset.add_answer(Answer("o1", "w1", "NYC"))
+        assert dataset.version == v0 + 1
+        assert dataset.records_version == r0  # crowd rounds keep warm starts valid
+
+    def test_record_bumps_both_counters(self, dataset):
+        v0, r0 = dataset.version, dataset.records_version
+        dataset.add_record(Record("o1", "s9", "NY"))
+        assert dataset.version == v0 + 1
+        assert dataset.records_version == r0 + 1
+
+    def test_identical_record_readd_keeps_records_version(self, dataset):
+        r0 = dataset.records_version
+        dataset.add_record(Record("o1", "s1", "NYC"))  # same claim again
+        assert dataset.records_version == r0

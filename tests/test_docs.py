@@ -26,10 +26,14 @@ def load_checker():
 def test_docs_exist_and_are_cross_linked():
     architecture = REPO_ROOT / "docs" / "architecture.md"
     algorithms = REPO_ROOT / "docs" / "algorithms.md"
-    assert architecture.is_file() and algorithms.is_file()
+    serving = REPO_ROOT / "docs" / "serving.md"
+    assert architecture.is_file() and algorithms.is_file() and serving.is_file()
     readme = (REPO_ROOT / "README.md").read_text()
     assert "docs/architecture.md" in readme
     assert "docs/algorithms.md" in readme
+    assert "docs/serving.md" in readme
+    # The serving doc is reachable from the architecture doc too.
+    assert "serving.md" in architecture.read_text()
 
 
 def test_docs_python_snippets_execute():

@@ -21,6 +21,8 @@ Three layers, mirroring the implementation:
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 import pytest
 
@@ -37,6 +39,10 @@ from repro.datasets import make_birthplaces, make_heritages
 from repro.eval.metrics import evaluate
 from repro.hierarchy.tree import Hierarchy
 from repro.inference import DawidSkene, Lfc, TDHModel, ZenCrowd
+from repro.inference.base import (
+    WARM_START_DEGRADED_PREFIX,
+    warm_start_degradation_message,
+)
 from repro.inference.tdh import TDHResult
 
 
@@ -311,11 +317,19 @@ def test_oplog_clear_by_overwrite_is_always_detected():
 # warm-start gate (satellite: clones / record mutations degrade to cold)
 # ---------------------------------------------------------------------------
 def test_warm_start_from_a_clone_degrades_to_cold_with_warning():
+    # The serving layer counts these degradations by their exact text
+    # (``WARM_START_DEGRADED_PREFIX``), so the full message is pinned here.
     ds = _sparse_heritages()
     model = DawidSkene(max_iter=20, use_columnar=True, incremental=True)
     warm = model.fit(ds)
     clone = ds.copy()
-    with pytest.warns(RuntimeWarning, match="different dataset"):
+    expected = warm_start_degradation_message(
+        "'heritages'",
+        "it was fitted on a different dataset object (a clone?), so its"
+        " claimant/slot keys cannot be trusted",
+    )
+    assert expected.startswith(WARM_START_DEGRADED_PREFIX)
+    with pytest.warns(RuntimeWarning, match=f"^{re.escape(expected)}$"):
         result = model.fit(clone, warm_start=warm)
     assert result.frontier_size is None  # cold path, not the frontier fit
     cold = DawidSkene(max_iter=20, use_columnar=True).fit(ds.copy())
@@ -327,10 +341,30 @@ def test_warm_start_after_record_mutation_degrades_to_cold_with_warning():
     model = TDHModel(max_iter=15, use_columnar=True, incremental=True)
     warm = model.fit(ds)
     obj = ds.objects[0]
+    fitted_at = warm.records_version
     ds.add_record(Record(obj, "brand-new-source", ds.candidates(obj)[0]))
-    with pytest.warns(RuntimeWarning, match="record mutation"):
+    expected = warm_start_degradation_message(
+        "'heritages'",
+        f"it was fitted at records_version {fitted_at} but a record mutation"
+        f" moved the dataset to {ds.records_version}, which may have changed"
+        " candidate sets",
+    )
+    assert expected.startswith(WARM_START_DEGRADED_PREFIX)
+    with pytest.warns(RuntimeWarning, match=f"^{re.escape(expected)}$"):
         result = model.fit(ds, warm_start=warm)
     assert result.frontier_size is None
+
+
+def test_unnamed_dataset_degradation_message_labels_it_unnamed():
+    ds = _sparse_heritages()
+    ds.name = ""
+    model = TDHModel(max_iter=5, use_columnar=True, incremental=True)
+    warm = model.fit(ds)
+    with pytest.warns(
+        RuntimeWarning,
+        match=f"^{re.escape(WARM_START_DEGRADED_PREFIX)}<unnamed>: ",
+    ):
+        model.fit(ds.copy(), warm_start=warm)
 
 
 # ---------------------------------------------------------------------------
