@@ -20,6 +20,13 @@ assertions (every write applied, truths match a cold fit of the identical
 final state) run in the default suite; the throughput/latency thresholds are
 ``slow``-marked so only the non-blocking CI bench job can fail on a loaded
 runner.
+
+A second module fixture reruns the identical load with a write-ahead journal
+attached (``fsync="checkpoint"``), then times a full crash recovery of the
+resulting 5k-object journal — the ``journal`` / ``recovery`` sections of the
+artifact quantify what durability costs (journal-on vs journal-off
+writes/sec) and what a restart costs (replay seconds vs the recovery's total
+including its initial refit).
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.data.model import Answer, Record, TruthDiscoveryDataset
 from repro.datasets.geography import make_geography, sample_truths
 from repro.datasets.synthetic import _claim_value, _wrong_pool
 from repro.inference import TDHModel
-from repro.serving import LatencyRecorder, TruthService
+from repro.serving import LatencyRecorder, TruthService, WriteAheadJournal, recover
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
@@ -51,6 +58,8 @@ BATCH_MAX = 64
 READ_SAMPLE = 32
 MIN_WRITES_PER_SEC = 20.0
 MAX_READ_P99_US = 50_000.0
+MIN_JOURNAL_WRITES_PER_SEC = 10.0
+MAX_REPLAY_SECONDS = 30.0
 
 
 def make_sparse_dataset(seed: int = 29) -> TruthDiscoveryDataset:
@@ -182,6 +191,116 @@ def serving_report() -> Dict[str, object]:
     return report
 
 
+@pytest.fixture(scope="module")
+def journal_report(serving_report, tmp_path_factory) -> Dict[str, object]:
+    """The identical load journal-on vs journal-off, then a timed recovery.
+
+    Both runs happen back-to-back inside this fixture (after
+    ``serving_report`` has already warmed the process) so the journal-on /
+    journal-off writes/sec comparison is like for like — comparing against
+    the *first* load of the process would mostly measure warm-up. Merges
+    ``journal`` and ``recovery`` sections into the artifact.
+    """
+    path = tmp_path_factory.mktemp("wal") / "bench.wal"
+
+    async def load(journal) -> Dict[str, object]:
+        base = make_sparse_dataset()
+        streams = [writer_stream(base, k) for k in range(N_WRITERS)]
+        sample = base.objects[:: N_OBJECTS // READ_SAMPLE][:READ_SAMPLE]
+        service = TruthService(
+            base,
+            TDHModel(use_columnar=True, incremental=True),
+            max_pending=512,
+            batch_max=BATCH_MAX,
+            journal=journal,
+        )
+        writing = True
+
+        async def writer(stream) -> None:
+            for n, (obj, worker, value) in enumerate(stream):
+                await service.append_answer(obj, worker, value)
+                if n % 8 == 0:
+                    await asyncio.sleep(0)
+
+        async def reader() -> None:
+            while writing:
+                reads = service.get_truths(sample)
+                assert len({r.epoch for r in reads.values()}) == 1
+                await asyncio.sleep(0)
+
+        async with service:
+            t_start = time.perf_counter()
+            reader_task = asyncio.create_task(reader())
+            await asyncio.gather(*(writer(s) for s in streams))
+            final = await service.drain()
+            run_seconds = time.perf_counter() - t_start
+            writing = False
+            await reader_task
+        return {
+            "stats": service.stats(),
+            "final_epoch": final.epoch,
+            "final_truths": dict(final.truths),
+            "run_seconds": run_seconds,
+        }
+
+    async def recover_timed() -> Dict[str, object]:
+        t_recover = time.perf_counter()
+        recovered, recovery = await recover(
+            path, TDHModel(use_columnar=True, incremental=True), run_worker=False
+        )
+        recover_total_seconds = time.perf_counter() - t_recover
+        recovered_truths = {o: r.value for o, r in recovered.get_truths().items()}
+        await recovered.stop()
+        return {
+            "recovery": recovery,
+            "recover_total_seconds": recover_total_seconds,
+            "recovered_truths": recovered_truths,
+        }
+
+    baseline = asyncio.run(load(None))
+    outcome = asyncio.run(load(WriteAheadJournal(path, fsync="checkpoint")))
+    recovered = asyncio.run(recover_timed())
+    stats = outcome["stats"]
+    recovery = recovered["recovery"]
+    baseline_wps = baseline["stats"]["writes_applied"] / baseline["run_seconds"]
+    journal_wps = stats["writes_applied"] / outcome["run_seconds"]
+    sections: Dict[str, object] = {
+        "journal": {
+            "fsync": "checkpoint",
+            "writes": TOTAL_WRITES,
+            "writes_applied": stats["writes_applied"],
+            "run_seconds": outcome["run_seconds"],
+            "writes_per_sec": journal_wps,
+            "baseline_writes_per_sec": baseline_wps,
+            "overhead_pct": 100.0 * (1.0 - journal_wps / baseline_wps),
+            "records_appended": stats["journal"]["records_appended"],
+            "bytes_appended": stats["journal"]["bytes_appended"],
+            "fsyncs": stats["journal"]["fsyncs"],
+            "file_bytes": stats["journal"]["file_bytes"],
+        },
+        "recovery": {
+            "objects": N_OBJECTS,
+            "entries": recovery.entries,
+            "batches_replayed": recovery.batches_replayed,
+            "writes_replayed": recovery.writes_replayed,
+            "truncated_records": recovery.truncated_records,
+            "resume_epoch": recovery.resume_epoch,
+            "replay_seconds": recovery.replay_seconds,
+            "total_recover_seconds": recovered["recover_total_seconds"],
+        },
+    }
+    artifact = json.loads(ARTIFACT.read_text())
+    artifact.update(sections)
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    return {
+        "final_epoch": outcome["final_epoch"],
+        "final_truths": outcome["final_truths"],
+        "recovered_truths": recovered["recovered_truths"],
+        "recovery_report": recovery,
+        **sections,
+    }
+
+
 def test_every_write_applied_and_truths_match_cold_fit(serving_report):
     """Deterministic half: the load was fully absorbed (no rejects, every
     write published), the steady state ran incrementally, and the served
@@ -194,6 +313,25 @@ def test_every_write_applied_and_truths_match_cold_fit(serving_report):
     assert json.loads(ARTIFACT.read_text())["writes"] == TOTAL_WRITES
 
 
+def test_journaled_load_is_durable_and_recovery_is_exact(journal_report):
+    """Deterministic half of the durability bench: every write absorbed with
+    the journal attached, recovery replayed the whole accepted stream with
+    nothing truncated, and the recovered truths track the live ones."""
+    assert journal_report["journal"]["writes_applied"] == TOTAL_WRITES
+    report = journal_report["recovery_report"]
+    assert report.writes_replayed == TOTAL_WRITES
+    assert report.writes_rejected == 0
+    assert report.truncated_records == 0 and report.tail_bytes_dropped == 0
+    assert report.resume_epoch == journal_report["final_epoch"] + 1
+    final = journal_report["final_truths"]
+    recovered = journal_report["recovered_truths"]
+    agreement = float(np.mean([recovered[o] == t for o, t in final.items()]))
+    assert agreement >= 0.999
+    artifact = json.loads(ARTIFACT.read_text())
+    assert artifact["journal"]["writes"] == TOTAL_WRITES
+    assert artifact["recovery"]["writes_replayed"] == TOTAL_WRITES
+
+
 @pytest.mark.slow  # wall-clock assertion: only the non-blocking CI bench job
 def test_sustained_throughput_and_read_latency(serving_report):
     """Timing half: the service sustains the write load while readers stay
@@ -201,3 +339,15 @@ def test_sustained_throughput_and_read_latency(serving_report):
     assert serving_report["writes_per_sec"] >= MIN_WRITES_PER_SEC, serving_report
     assert serving_report["read_latency"]["p99_us"] <= MAX_READ_P99_US, serving_report
     assert serving_report["read_latency"]["count"] > 0
+
+
+@pytest.mark.slow  # wall-clock assertion: only the non-blocking CI bench job
+def test_journal_throughput_and_replay_time(journal_report):
+    """Durability must stay affordable: journaled writes/sec above a loose
+    floor, and replaying the whole 5k-object journal within a loose ceiling."""
+    assert (
+        journal_report["journal"]["writes_per_sec"] >= MIN_JOURNAL_WRITES_PER_SEC
+    ), journal_report["journal"]
+    assert (
+        journal_report["recovery"]["replay_seconds"] <= MAX_REPLAY_SECONDS
+    ), journal_report["recovery"]

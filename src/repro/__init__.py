@@ -46,7 +46,13 @@ from .crowd import (
 )
 from .eval import evaluate, evaluate_multitruth, evaluate_numeric
 from .datasets import load_dataset, make_birthplaces, make_heritages
-from .serving import PublishedResult, TruthRead, TruthService
+from .serving import (
+    PublishedResult,
+    TruthRead,
+    TruthService,
+    WriteAheadJournal,
+    recover,
+)
 
 __version__ = "1.0.0"
 
@@ -90,5 +96,10 @@ __all__ = [
     "load_dataset",
     "make_birthplaces",
     "make_heritages",
+    "TruthService",
+    "TruthRead",
+    "PublishedResult",
+    "WriteAheadJournal",
+    "recover",
     "__version__",
 ]

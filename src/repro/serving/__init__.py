@@ -1,14 +1,28 @@
 """Always-on serving: an asyncio truth service over versioned snapshots.
 
 Writers append claims/answers into a bounded queue; a single background EM
-worker batches them onto the live dataset (the columnar appender splices each
-batch into a new immutable snapshot), refits warm/incrementally, and
-publishes the result behind an atomic latest-snapshot pointer that readers
-hit lock-free. See ``docs/serving.md`` for the architecture, the
-staleness/consistency contract and a runnable round-trip.
+worker journals each micro-batch to a write-ahead journal (when attached),
+batches it onto the live dataset (the columnar appender splices each batch
+into a new immutable snapshot), refits warm/incrementally off the event
+loop, and publishes the result behind an atomic latest-snapshot pointer
+that readers hit lock-free. After a crash, :func:`recover` replays the
+journal into an identical dataset and restarts the service at the next
+epoch. See ``docs/serving.md`` for the architecture, the staleness /
+consistency / durability contracts and runnable round-trips.
 """
 
+from .faults import FaultInjector, InjectedFault
+from .journal import (
+    FSYNC_POLICIES,
+    InjectedTornWrite,
+    JournalError,
+    JournalScan,
+    WriteAheadJournal,
+    scan_journal,
+    truncate_torn_tail,
+)
 from .metrics import LatencyRecorder, ServiceMetrics, percentile
+from .recovery import RecoveryReport, rebuild_dataset, recover
 from .service import ServiceClosed, ServiceNotStarted, TruthRead, TruthService
 from .snapshots import PublicationError, PublishedResult, SnapshotStore
 from .worker import EMWorker, Write
@@ -26,4 +40,16 @@ __all__ = [
     "ServiceMetrics",
     "LatencyRecorder",
     "percentile",
+    "WriteAheadJournal",
+    "JournalError",
+    "JournalScan",
+    "InjectedTornWrite",
+    "FSYNC_POLICIES",
+    "scan_journal",
+    "truncate_torn_tail",
+    "recover",
+    "rebuild_dataset",
+    "RecoveryReport",
+    "FaultInjector",
+    "InjectedFault",
 ]

@@ -1,0 +1,405 @@
+"""Write-ahead journal: the durable record of the service's accepted writes.
+
+PR 7's service is memory-only — a process crash loses the entire accepted
+write stream. This module pairs the in-memory service with an append-only
+on-disk journal, in classic WAL order: the :class:`~repro.serving.worker.
+EMWorker` appends each micro-batch *before* applying it to the dataset, so
+any write a reader could ever observe is already durable. Recovery
+(:mod:`repro.serving.recovery`) replays the journal into a fresh dataset and
+restarts the service at the journaled epoch.
+
+File format — a 4-byte magic (``RTJ1``) followed by self-checking frames::
+
+    ┌──────────────┬──────────────┬──────────────────────────┐
+    │ length (u32) │ crc32 (u32)  │ payload: compact JSON    │
+    │ big-endian   │ of payload   │ (one record object)      │
+    └──────────────┴──────────────┴──────────────────────────┘
+
+Record kinds (the payload's ``"kind"`` key):
+
+* ``base`` — the full dataset at service start (hierarchy edges, records,
+  answers, gold, version counters), written once when a journal is fresh.
+  The journal is therefore *self-contained*: recovery needs the file and
+  nothing else.
+* ``batch`` — one accepted micro-batch, writes encoded as
+  ``["r", object, source, value]`` / ``["a", object, worker, value]``.
+* ``checkpoint`` — epoch marker appended after every publish, carrying the
+  epoch and the dataset's version counters so a restarted service resumes
+  with dense epochs and non-regressing version stamps.
+
+The length+CRC framing makes every record independently verifiable:
+:func:`scan_journal` walks the file, and on an invalid frame (torn tail from
+a crash mid-write, or a flipped byte) it *resynchronises* — it advances
+byte-by-byte until the next verifiable frame — so a single corrupt record
+costs exactly that record. Corrupt spans are counted (``truncated_records``)
+and any tail garbage is physically truncated by recovery before the journal
+is reopened for append.
+
+Fsync policy (the durability/throughput knob):
+
+* ``"always"`` — ``os.fsync`` after every record: a crash loses nothing.
+* ``"checkpoint"`` (default) — fsync only when a checkpoint is appended:
+  a crash can lose at most the batches since the last publish, which is
+  also the window readers had never seen fully fitted.
+* ``"never"`` — OS-buffered only (still ``flush``-ed per record).
+
+Values and ids are serialised as JSON: journaled serving assumes JSON-round-
+trippable object/claimant/value ids (str, int, float, bool), which every
+dataset in this repository uses. Tuple ids would come back as lists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..data.model import Answer, Record, TruthDiscoveryDataset
+from .faults import FaultInjector
+
+MAGIC = b"RTJ1"
+_HEADER = struct.Struct(">II")  # payload length, crc32(payload)
+#: Frames claiming more than this are treated as corrupt (resync point).
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+KINDS = ("base", "batch", "checkpoint")
+FSYNC_POLICIES = ("always", "checkpoint", "never")
+
+
+class JournalError(RuntimeError):
+    """A structurally invalid journal file or an illegal journal operation."""
+
+
+def encode_claim(claim: Union[Record, Answer]) -> List[object]:
+    """``Record``/``Answer`` -> the compact JSON list stored in batch records."""
+    if isinstance(claim, Record):
+        return ["r", claim.object, claim.source, claim.value]
+    if isinstance(claim, Answer):
+        return ["a", claim.object, claim.worker, claim.value]
+    raise TypeError(f"cannot journal {type(claim).__name__}")
+
+
+def decode_claim(item: List[object]) -> Union[Record, Answer]:
+    """Inverse of :func:`encode_claim`."""
+    tag, obj, claimant, value = item
+    if tag == "r":
+        return Record(obj, claimant, value)
+    if tag == "a":
+        return Answer(obj, claimant, value)
+    raise JournalError(f"unknown write tag {tag!r} in journal batch")
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """The verified content of a journal file.
+
+    ``entries`` are the decoded record payloads in file order; ``spans`` are
+    their parallel ``(start, end)`` byte offsets. ``valid_end`` is the offset
+    just past the last verifiable record — recovery truncates the file there
+    before reopening it for append. ``truncated_records`` counts contiguous
+    corrupt/torn spans that were skipped (each span is at least one lost
+    record); ``truncated_bytes`` is their total size.
+    """
+
+    path: str
+    file_bytes: int
+    valid_end: int
+    entries: List[Dict[str, object]]
+    spans: List[Tuple[int, int]]
+    truncated_records: int
+    truncated_bytes: int
+
+    @property
+    def base(self) -> Optional[Dict[str, object]]:
+        """The base-dataset record, when it survived."""
+        if self.entries and self.entries[0].get("kind") == "base":
+            return self.entries[0]
+        return None
+
+    @property
+    def last_checkpoint(self) -> Optional[Dict[str, object]]:
+        """The newest surviving checkpoint marker."""
+        for entry in reversed(self.entries):
+            if entry.get("kind") == "checkpoint":
+                return entry
+        return None
+
+    @property
+    def batches(self) -> List[Dict[str, object]]:
+        return [e for e in self.entries if e.get("kind") == "batch"]
+
+
+def _try_frame(buf: bytes, offset: int) -> Optional[Tuple[Dict[str, object], int]]:
+    """Decode one frame at ``offset``; ``None`` if it does not verify."""
+    if offset + _HEADER.size > len(buf):
+        return None
+    length, crc = _HEADER.unpack_from(buf, offset)
+    if not 0 < length <= MAX_RECORD_BYTES:
+        return None
+    start = offset + _HEADER.size
+    end = start + length
+    if end > len(buf):
+        return None
+    payload = buf[start:end]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        entry = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(entry, dict) or entry.get("kind") not in KINDS:
+        return None
+    return entry, end
+
+
+def scan_journal(path: Union[str, Path]) -> JournalScan:
+    """Read and verify every decodable record of ``path``.
+
+    Invalid bytes (torn tail, flipped bytes) are skipped by byte-wise
+    resynchronisation: a corrupt record costs only itself, the records after
+    it still replay. Raises :class:`JournalError` when the file is missing or
+    does not start with the journal magic.
+    """
+    path = Path(path)
+    try:
+        buf = path.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    if len(buf) < len(MAGIC) or buf[: len(MAGIC)] != MAGIC:
+        raise JournalError(f"{path} is not a truth-service journal (bad magic)")
+    entries: List[Dict[str, object]] = []
+    spans: List[Tuple[int, int]] = []
+    offset = len(MAGIC)
+    valid_end = offset
+    truncated_records = 0
+    in_corrupt_span = False
+    while offset < len(buf):
+        hit = _try_frame(buf, offset)
+        if hit is None:
+            if not in_corrupt_span:
+                truncated_records += 1
+                in_corrupt_span = True
+            offset += 1
+            continue
+        entry, end = hit
+        entries.append(entry)
+        spans.append((offset, end))
+        valid_end = end
+        offset = end
+        in_corrupt_span = False
+    truncated_bytes = len(buf) - len(MAGIC) - sum(e - s for s, e in spans)
+    return JournalScan(
+        path=str(path),
+        file_bytes=len(buf),
+        valid_end=valid_end,
+        entries=entries,
+        spans=spans,
+        truncated_records=truncated_records,
+        truncated_bytes=truncated_bytes,
+    )
+
+
+def truncate_torn_tail(path: Union[str, Path], scan: JournalScan) -> int:
+    """Physically drop tail garbage after the last verified record.
+
+    Only the *tail* is cut (mid-file corrupt spans stay put; scans skip them
+    deterministically) — appending after a truncate therefore never writes
+    into the middle of garbage. Returns the number of bytes dropped.
+    """
+    dropped = scan.file_bytes - scan.valid_end
+    if dropped > 0:
+        with open(path, "r+b") as fh:
+            fh.truncate(scan.valid_end)
+    return dropped
+
+
+class WriteAheadJournal:
+    """Append-only journal handle with checksummed frames and fsync policy.
+
+    Opening a missing/empty file creates a fresh journal (magic written,
+    ``is_fresh`` true — the service then appends the base-dataset record).
+    Opening an existing journal positions at its end; reopening a journal
+    with a torn tail is the job of :func:`~repro.serving.recovery.recover`,
+    which truncates to the last valid record first.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        fsync: str = "checkpoint",
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        self.path = Path(path)
+        self.fsync_policy = fsync
+        self._faults = faults
+        existing = self.path.exists() and self.path.stat().st_size > 0
+        if existing:
+            with open(self.path, "rb") as fh:
+                magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise JournalError(
+                    f"{self.path} exists but is not a truth-service journal"
+                )
+        self._fh = open(self.path, "ab")
+        self.is_fresh = not existing
+        if self.is_fresh:
+            self._fh.write(MAGIC)
+            self._fh.flush()
+        #: next batch sequence number; recovery fast-forwards it on reopen.
+        self.batch_seq = 0
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.batches_appended = 0
+        self.checkpoints_appended = 0
+        self.fsyncs = 0
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    def append_base(self, dataset: TruthDiscoveryDataset) -> None:
+        """Journal the full dataset so recovery needs no external corpus.
+
+        Hierarchy edges are emitted parents-before-children (the tree's
+        insertion order guarantees it), records/answers in the dataset's
+        deterministic iteration order, and the version counters verbatim so
+        a rebuilt dataset's stamps line up with journaled checkpoints.
+        """
+        hierarchy = dataset.hierarchy
+        self._append(
+            {
+                "kind": "base",
+                "format": 1,
+                "name": dataset.name,
+                "root": hierarchy.root,
+                "edges": [[c, hierarchy.parent(c)] for c in hierarchy.non_root_nodes()],
+                "records": [[r.object, r.source, r.value] for r in dataset.iter_records()],
+                "answers": [[a.object, a.worker, a.value] for a in dataset.iter_answers()],
+                "gold": [[o, v] for o, v in dataset.gold.items()],
+                "version": dataset.version,
+                "records_version": dataset.records_version,
+            }
+        )
+
+    def append_batch(self, claims: List[Union[Record, Answer]]) -> int:
+        """Journal one micro-batch (WAL: called before the batch is applied).
+
+        Returns the batch's sequence number. Acceptance is not pre-judged:
+        replay pushes every write through the same validating mutators, so a
+        write rejected live is rejected identically on recovery.
+        """
+        seq = self.batch_seq
+        self._append(
+            {"kind": "batch", "seq": seq, "writes": [encode_claim(c) for c in claims]}
+        )
+        self.batch_seq = seq + 1
+        self.batches_appended += 1
+        return seq
+
+    def append_checkpoint(
+        self,
+        *,
+        epoch: int,
+        dataset_version: int,
+        records_version: int,
+        applied_writes: int,
+    ) -> None:
+        """Mark a publish: every batch at or before this marker is covered."""
+        if self._faults is not None:
+            self._faults.check("journal.checkpoint")
+        self._append(
+            {
+                "kind": "checkpoint",
+                "epoch": epoch,
+                "dataset_version": dataset_version,
+                "records_version": records_version,
+                "applied_writes": applied_writes,
+            },
+            checkpoint=True,
+        )
+        self.checkpoints_appended += 1
+
+    def _append(self, entry: Dict[str, object], *, checkpoint: bool = False) -> None:
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        payload = json.dumps(entry, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        if self._faults is not None:
+            if not checkpoint:
+                self._faults.check("journal.append")
+            torn = self._faults.check("journal.torn", frame_len=len(frame))
+            if torn is not None:
+                # The injected crash-mid-write: a prefix reaches the file,
+                # then the "process dies" — recovery must truncate it.
+                self._fh.write(frame[:torn])
+                self._fh.flush()
+                raise InjectedTornWrite(
+                    f"torn journal write: {torn}/{len(frame)} bytes persisted"
+                )
+        self._fh.write(frame)
+        self._fh.flush()
+        if self.fsync_policy == "always" or (
+            checkpoint and self.fsync_policy == "checkpoint"
+        ):
+            if self._faults is not None:
+                self._faults.check("journal.fsync")
+            os.fsync(self._fh.fileno())
+            self.fsyncs += 1
+        self.records_appended += 1
+        self.bytes_appended += len(frame)
+
+    # ------------------------------------------------------------------
+    # lifecycle & introspection
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Flush and fsync regardless of policy."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.fsyncs += 1
+
+    def close(self, *, sync: bool = True) -> None:
+        """Close the handle, fsync-ing first unless ``sync=False``."""
+        if self._fh is None:
+            return
+        if sync:
+            self.sync()
+        self._fh.close()
+        self._fh = None
+
+    def abort(self) -> None:
+        """Simulated process death: drop the handle with no final sync."""
+        self.close(sync=False)
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-dict counters for ``service.stats()`` / logging."""
+        return {
+            "path": str(self.path),
+            "fsync": self.fsync_policy,
+            "records_appended": self.records_appended,
+            "batches_appended": self.batches_appended,
+            "checkpoints_appended": self.checkpoints_appended,
+            "bytes_appended": self.bytes_appended,
+            "fsyncs": self.fsyncs,
+            "file_bytes": self.path.stat().st_size if self.path.exists() else 0,
+            "closed": self.closed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WriteAheadJournal({str(self.path)!r}, fsync={self.fsync_policy!r},"
+            f" records={self.records_appended}, closed={self.closed})"
+        )
+
+
+class InjectedTornWrite(OSError):
+    """The error completing an injected torn journal write (bytes persisted)."""

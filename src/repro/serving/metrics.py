@@ -67,6 +67,11 @@ class ServiceMetrics:
     staleness is derived against the *published* stamp instead
     (:attr:`~repro.serving.snapshots.PublishedResult.applied_writes`), which
     also counts writes applied to the dataset but not yet visible to readers.
+
+    ``journal_failures`` counts batches whose write-ahead append failed (the
+    batch is never applied); ``worker_failures`` counts batch-loop
+    exceptions — each one fail-stops the worker, leaving recovery from the
+    journal as the path back to service.
     """
 
     writes_accepted: int = 0
@@ -81,6 +86,8 @@ class ServiceMetrics:
     last_fit_seconds: float = 0.0
     reads: int = 0
     queue_high_watermark: int = 0
+    journal_failures: int = 0
+    worker_failures: int = 0
 
     @property
     def writes_acked(self) -> int:
@@ -119,6 +126,8 @@ class ServiceMetrics:
             "last_fit_seconds": self.last_fit_seconds,
             "reads": self.reads,
             "queue_high_watermark": self.queue_high_watermark,
+            "journal_failures": self.journal_failures,
+            "worker_failures": self.worker_failures,
         }
         if extra:
             out.update(extra)

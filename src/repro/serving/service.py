@@ -8,13 +8,20 @@ report*. This module turns the same engine into a long-running service:
                                             │  micro-batches
                                             ▼
                                     EMWorker (one task)
-                           apply → warm/incremental fit → publish
+          journal batch (WAL) → apply → off-loop warm/incremental fit
+                        → publish → journal epoch checkpoint
                                             │
                                             ▼
                               SnapshotStore.latest  (atomic pointer)
                                             ▲
  readers ◀──get_truth/get_truths────────────┘   lock-free, version-stamped
 ```
+
+With a :class:`~repro.serving.journal.WriteAheadJournal` attached the
+accepted write stream is durable (journaled before it is applied) and the
+service is crash-recoverable via :func:`~repro.serving.recovery.recover`;
+fits run in a single-thread executor by default (``off_loop_fits``) so a
+cold refit never freezes the event loop.
 
 Consistency contract (see ``docs/serving.md`` for the full statement):
 
@@ -54,6 +61,8 @@ from ..data.model import (
 from ..hierarchy.tree import Value
 from ..inference.base import TruthInferenceAlgorithm
 from ..inference.tdh import TDHModel
+from .faults import FaultInjector
+from .journal import WriteAheadJournal
 from .metrics import ServiceMetrics
 from .snapshots import PublishedResult, SnapshotStore
 from .worker import EMWorker, Write
@@ -110,6 +119,26 @@ class TruthService:
         coalesce instead of paying one fit per write.
     history:
         How many published snapshots the store retains for inspection.
+    journal:
+        Optional :class:`~repro.serving.journal.WriteAheadJournal`. When
+        attached, every micro-batch is journaled *before* it is applied
+        (WAL order) and every publish appends an epoch checkpoint, making
+        the accepted write stream crash-recoverable via
+        :func:`~repro.serving.recovery.recover`. A fresh journal gets the
+        full base dataset written at ``start()`` so recovery is
+        self-contained.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultInjector` — the
+        deterministic crash harness threaded through journal/worker sites.
+        Production services leave it ``None``.
+    off_loop_fits:
+        When true (default) every fit runs in a single-thread executor so
+        reads and enqueues stay responsive during cold refits; false keeps
+        the PR-7 on-loop behaviour (used by the blocking-regression test).
+    initial_epoch:
+        The epoch the first publish carries — 0 for a fresh service;
+        recovery passes the journaled checkpoint epoch + 1 so epochs stay
+        dense across restarts.
     """
 
     def __init__(
@@ -121,6 +150,10 @@ class TruthService:
         batch_max: int = 256,
         batch_wait: float = 0.0,
         history: int = 8,
+        journal: Optional[WriteAheadJournal] = None,
+        faults: Optional[FaultInjector] = None,
+        off_loop_fits: bool = True,
+        initial_epoch: int = 0,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -134,7 +167,10 @@ class TruthService:
         self._max_pending = max_pending
         self._batch_max = batch_max
         self._batch_wait = batch_wait
-        self._store = SnapshotStore(history=history)
+        self._journal = journal
+        self._faults = faults
+        self._off_loop_fits = off_loop_fits
+        self._store = SnapshotStore(history=history, base_epoch=initial_epoch)
         self.metrics = ServiceMetrics()
         self._queue: Optional["asyncio.Queue[Write]"] = None
         self.worker: Optional[EMWorker] = None
@@ -157,6 +193,10 @@ class TruthService:
             raise ServiceClosed("service already stopped")
         if not self._dataset.objects:
             raise ValueError("TruthService needs a dataset with at least one record")
+        if self._journal is not None and self._journal.is_fresh:
+            # A fresh journal opens with the full base dataset, making the
+            # file self-contained: recover(path) needs no external corpus.
+            self._journal.append_base(self._dataset)
         self._queue = asyncio.Queue(maxsize=self._max_pending)
         self.worker = EMWorker(
             self._dataset,
@@ -167,9 +207,14 @@ class TruthService:
             accepts_warm_start=self._accepts_warm_start,
             batch_max=self._batch_max,
             batch_wait=self._batch_wait,
+            journal=self._journal,
+            faults=self._faults,
+            off_loop_fits=self._off_loop_fits,
         )
-        # Epoch 0 before any write is accepted: readers never see "no data".
-        self.worker.fit_and_publish()
+        # The initial fit before any write is accepted: readers never see
+        # "no data". Epoch 0 on a fresh service; the journaled resume epoch
+        # on a recovered one.
+        await self.worker.fit_and_publish()
         self._started = True
         if run_worker:
             self._worker_task = asyncio.create_task(
@@ -189,7 +234,12 @@ class TruthService:
         return self._store.latest
 
     async def stop(self, *, drain: bool = True) -> None:
-        """Refuse new writes, optionally drain, then cancel the worker."""
+        """Refuse new writes, optionally drain, then tear down cleanly.
+
+        The journal (when attached) is closed with a final fsync, and the
+        fit executor is released. A fail-stopped worker's exception is
+        swallowed here — it already surfaced on the crashed batch's tickets.
+        """
         if not self._started or self._queue is None:
             self._closed = True
             return
@@ -197,10 +247,39 @@ class TruthService:
         if drain and (self._worker_task is not None and not self._worker_task.done()):
             await self._queue.join()
         if self._worker_task is not None:
-            self._worker_task.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._worker_task
+            if self._worker_task.done():
+                if not self._worker_task.cancelled():
+                    self._worker_task.exception()  # mark retrieved
+            else:
+                self._worker_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._worker_task
             self._worker_task = None
+        if self.worker is not None:
+            self.worker.shutdown()
+        if self._journal is not None and not self._journal.closed:
+            self._journal.close()
+
+    def crash(self) -> None:
+        """Simulate abrupt process death (the fault harness's kill switch).
+
+        No drain, no final journal sync, no ticket resolution: the worker
+        task is cancelled where it stands, the journal handle is dropped,
+        and the service refuses everything from here on. Whatever the
+        journal already holds is what :func:`~repro.serving.recovery.
+        recover` will restore — exactly the accepted durable prefix.
+        """
+        self._closed = True
+        if self._worker_task is not None:
+            if self._worker_task.done() and not self._worker_task.cancelled():
+                self._worker_task.exception()  # mark retrieved
+            else:
+                self._worker_task.cancel()
+            self._worker_task = None
+        if self.worker is not None:
+            self.worker.shutdown()
+        if self._journal is not None and not self._journal.closed:
+            self._journal.abort()
 
     async def __aenter__(self) -> "TruthService":
         return await self.start()
@@ -240,6 +319,17 @@ class TruthService:
         self._require_started()
         if self._closed:
             raise ServiceClosed("service is stopping; write refused")
+        if self._worker_task is not None and self._worker_task.done():
+            # Fail-stop aftermath: the worker died (journal append failed,
+            # fit raised, ...). Accepting more writes would queue them into
+            # nowhere — refuse loudly; recovery from the journal is the way
+            # back to a writable service.
+            failure = (
+                None
+                if self._worker_task.cancelled()
+                else self._worker_task.exception()
+            )
+            raise ServiceClosed(f"EM worker has stopped ({failure!r}); write refused")
         write.ticket = asyncio.get_running_loop().create_future()
         await self._queue.put(write)  # backpressure point
         self.metrics.writes_accepted += 1
@@ -318,7 +408,13 @@ class TruthService:
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "started": self._started,
             "closed": self._closed,
+            "worker_alive": bool(
+                self._worker_task is not None and not self._worker_task.done()
+            ),
+            "off_loop_fits": self._off_loop_fits,
         }
+        if self._journal is not None:
+            extra["journal"] = self._journal.stats()
         if latest is not None:
             extra.update(
                 epoch=latest.epoch,

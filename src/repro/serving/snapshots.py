@@ -90,9 +90,23 @@ class SnapshotStore:
     checks be plain comparisons instead of a compare-and-swap loop.
     """
 
-    def __init__(self, history: int = 8) -> None:
+    def __init__(self, history: int = 8, *, base_epoch: int = 0) -> None:
+        if base_epoch < 0:
+            raise ValueError("base_epoch must be >= 0")
         self._latest: Optional[PublishedResult] = None
         self._history: Deque[PublishedResult] = deque(maxlen=max(1, history))
+        self._base_epoch = base_epoch
+
+    @property
+    def base_epoch(self) -> int:
+        """The epoch the first publish must carry.
+
+        0 for a fresh service; recovery seeds it with the journaled
+        checkpoint epoch + 1, so epochs stay dense *across* process restarts
+        and readers comparing stamps before/after a crash never see a
+        regression.
+        """
+        return self._base_epoch
 
     @property
     def latest(self) -> Optional[PublishedResult]:
@@ -108,9 +122,10 @@ class SnapshotStore:
         """Swap ``snapshot`` in as the latest, enforcing monotonicity."""
         latest = self._latest
         if latest is None:
-            if snapshot.epoch != 0:
+            if snapshot.epoch != self._base_epoch:
                 raise PublicationError(
-                    f"first publish must be epoch 0, got {snapshot.epoch}"
+                    f"first publish must be epoch {self._base_epoch},"
+                    f" got {snapshot.epoch}"
                 )
         else:
             if snapshot.epoch != latest.epoch + 1:

@@ -1,31 +1,44 @@
-"""The background EM worker: batch-apply writes, warm-refit, publish.
+"""The background EM worker: journal, batch-apply, off-loop refit, publish.
 
-One worker per service, one coroutine, no threads: every mutation of the
-dataset and every EM fit happens inside this single task, which is what makes
-the service deterministic under a fixed write order and lets the reader side
-stay lock-free (readers only ever touch immutable published snapshots).
+One worker per service, one consumer: every mutation of the dataset happens
+inside this single task, which is what makes the service deterministic under
+a fixed write order and lets the reader side stay lock-free (readers only
+ever touch immutable published snapshots). The *fit* itself, though, no
+longer runs on the event loop: ``fit_and_publish`` ships it to a
+single-thread executor (``loop.run_in_executor``), so a cold refit cannot
+freeze reads or enqueues — the worker coroutine simply awaits the executor
+future while the loop keeps scheduling readers and writers. No locking
+changes: the worker is suspended for exactly as long as the fit thread owns
+the dataset, so there is still only ever one mutator.
 
-Per batch the worker does exactly four things:
+Per batch the worker does exactly five things:
 
 1. drain a micro-batch off the write queue (first write awaited, the rest
    taken greedily up to ``batch_max``, with an optional ``batch_wait``
    linger so sparse writers still amortise one fit over several writes);
-2. apply each write through the ordinary dataset mutators — an invalid
+2. **journal the batch** (when a :class:`~repro.serving.journal.
+   WriteAheadJournal` is attached) *before* applying anything — classic WAL
+   order: a write that could ever become visible is durable first. A failed
+   journal append rejects the whole batch onto its tickets and fail-stops
+   the worker (durability is broken; recovery is the way back);
+3. apply each write through the ordinary dataset mutators — an invalid
    write (:class:`~repro.data.model.DatasetError`) is rejected onto its
-   ticket without poisoning the batch;
-3. refit: ``fit(dataset, warm_start=previous_published)``. With an
-   incremental-capable model this is the PR-6 dirty-frontier path — the
-   appender has already spliced the delta into a new immutable snapshot, and
-   the oplog names the dirty objects — and it *degrades, never breaks*:
-   record appends bump ``records_version`` so the warm-start gate refuses
-   the seed with a :class:`RuntimeWarning` (counted here, not surfaced) and
-   the fit runs cold; saturated frontiers delegate to the full warm fit.
-4. publish the result as the next :class:`~repro.serving.snapshots.
-   PublishedResult` epoch and resolve the batch's tickets with it.
+   ticket without poisoning the batch, and replay rejects it identically;
+4. refit off-loop: ``fit(dataset, warm_start=previous_published)``. With an
+   incremental-capable model this is the PR-6 dirty-frontier path and it
+   *degrades, never breaks*: record appends bump ``records_version`` so the
+   warm-start gate refuses the seed (counted here, not surfaced) and the
+   fit runs cold; saturated frontiers delegate to the full warm fit;
+5. publish the result as the next :class:`~repro.serving.snapshots.
+   PublishedResult` epoch, append the epoch-checkpoint marker to the
+   journal, and resolve the batch's tickets.
 
-``queue.task_done`` is called once per write *after* its batch's publish, so
-``queue.join()`` is exactly the service's drain barrier: when it returns,
-every accepted write is visible to readers (or rejected onto its ticket).
+Failure policy is **fail-stop**: any exception in the batch loop (injected
+or real) resolves the in-flight batch's tickets with the error, re-raises,
+and kills the worker task. The service then refuses further writes; the
+journal holds every accepted batch, so ``recover()`` restores exactly the
+accepted prefix. ``queue.task_done`` is called once per write *after* its
+batch's publish, so ``queue.join()`` is exactly the service's drain barrier.
 """
 
 from __future__ import annotations
@@ -33,11 +46,14 @@ from __future__ import annotations
 import asyncio
 import time
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from ..data.model import Answer, DatasetError, Record, TruthDiscoveryDataset
 from ..inference.base import WARM_START_DEGRADED_PREFIX, TruthInferenceAlgorithm
+from .faults import FaultInjector
+from .journal import WriteAheadJournal
 from .metrics import ServiceMetrics
 from .snapshots import PublishedResult, SnapshotStore
 
@@ -47,9 +63,9 @@ class Write:
     """One queued mutation plus the ticket its writer may await.
 
     The ticket resolves to the publishing epoch once the write is readable,
-    or raises the :class:`DatasetError` that rejected it. Awaiting is
-    optional — valid writes resolve with a result, which asyncio never
-    complains about dropping.
+    or raises the :class:`DatasetError` that rejected it (or the crash that
+    killed its batch). Awaiting is optional — valid writes resolve with a
+    result, which asyncio never complains about dropping.
     """
 
     claim: Union[Record, Answer]
@@ -76,6 +92,9 @@ class EMWorker:
         accepts_warm_start: bool,
         batch_max: int = 256,
         batch_wait: float = 0.0,
+        journal: Optional[WriteAheadJournal] = None,
+        faults: Optional[FaultInjector] = None,
+        off_loop_fits: bool = True,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
@@ -87,16 +106,19 @@ class EMWorker:
         self._accepts_warm_start = accepts_warm_start
         self._batch_max = batch_max
         self._batch_wait = batch_wait
+        self._journal = journal
+        self._faults = faults
+        self._off_loop = off_loop_fits
+        self._fit_pool: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
-    # fitting & publication (synchronous: runs inline in the worker task)
+    # fitting & publication
     # ------------------------------------------------------------------
-    def fit_and_publish(self) -> PublishedResult:
-        """Refit the live dataset warm-started from the latest publish.
-
-        Also used synchronously by ``TruthService.start`` for the epoch-0
-        cold fit, before the worker task exists.
-        """
+    def _fit(self) -> Tuple[object, float, int]:
+        """Run one refit; executor-thread-safe (sole dataset toucher while
+        the worker coroutine awaits it). Returns (result, seconds, degradations)."""
+        if self._faults is not None:
+            self._faults.check("worker.fit")
         previous = self._store.latest
         warm = previous.result if (previous and self._accepts_warm_start) else None
         t0 = time.perf_counter()
@@ -124,14 +146,22 @@ class EMWorker:
                     caught_warning.filename,
                     caught_warning.lineno,
                 )
+        return result, fit_seconds, degradations
+
+    def _publish(self, fitted: Tuple[object, float, int]) -> PublishedResult:
+        """Wrap a fit into the next epoch, swap it in, checkpoint the journal."""
+        result, fit_seconds, degradations = fitted
+        if self._faults is not None:
+            self._faults.check("worker.publish")
         frontier_size = getattr(result, "frontier_size", None)
         self._metrics.note_fit(
             fit_seconds, incremental=frontier_size is not None, degradations=degradations
         )
+        previous = self._store.latest
         snapshot = PublishedResult(
             result=result,
             truths=result.truths(),
-            epoch=previous.epoch + 1 if previous else 0,
+            epoch=previous.epoch + 1 if previous else self._store.base_epoch,
             dataset_version=self._dataset.version,
             records_version=self._dataset.records_version,
             applied_writes=self._metrics.writes_applied,
@@ -140,7 +170,47 @@ class EMWorker:
             fit_seconds=fit_seconds,
             published_at=time.monotonic(),
         )
-        return self._store.publish(snapshot)
+        published = self._store.publish(snapshot)
+        if self._journal is not None:
+            # Checkpoint *after* the publish it marks: a surviving checkpoint
+            # implies its batches are journaled (they precede it in the file),
+            # so recovery resuming at checkpoint-epoch + 1 never skips data.
+            self._journal.append_checkpoint(
+                epoch=published.epoch,
+                dataset_version=published.dataset_version,
+                records_version=published.records_version,
+                applied_writes=published.applied_writes,
+            )
+        return published
+
+    async def fit_and_publish(self) -> PublishedResult:
+        """Refit warm-started from the latest publish, then publish.
+
+        The fit runs in a lazily created single-thread executor
+        (``off_loop_fits=True``, the default) so readers and writers stay
+        responsive during cold refits; the publish runs back on the loop.
+        Also used by ``TruthService.start`` for the initial fit, before the
+        worker task exists.
+        """
+        if self._off_loop:
+            loop = asyncio.get_running_loop()
+            fitted = await loop.run_in_executor(self._executor(), self._fit)
+        else:
+            fitted = self._fit()
+        return self._publish(fitted)
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._fit_pool is None:
+            self._fit_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="truth-service-fit"
+            )
+        return self._fit_pool
+
+    def shutdown(self) -> None:
+        """Release the fit executor (idempotent; in-flight fits finish)."""
+        if self._fit_pool is not None:
+            self._fit_pool.shutdown(wait=False)
+            self._fit_pool = None
 
     # ------------------------------------------------------------------
     # the batch loop
@@ -155,7 +225,7 @@ class EMWorker:
         return batch
 
     async def step(self) -> Optional[PublishedResult]:
-        """Process one batch: apply, refit, publish, resolve tickets.
+        """Process one batch: journal, apply, refit, publish, resolve tickets.
 
         Returns the published snapshot, or ``None`` when every write in the
         batch was rejected (nothing changed, so nothing is re-fitted).
@@ -164,6 +234,14 @@ class EMWorker:
         """
         batch = await self._take_batch()
         try:
+            if self._journal is not None:
+                try:
+                    self._journal.append_batch([w.claim for w in batch])
+                except Exception:
+                    self._metrics.journal_failures += 1
+                    raise
+            if self._faults is not None:
+                self._faults.check("worker.apply")
             applied: List[Write] = []
             for write in batch:
                 try:
@@ -179,11 +257,24 @@ class EMWorker:
             self._metrics.last_batch_size = len(batch)
             if not applied:
                 return None
-            snapshot = self.fit_and_publish()
+            snapshot = await self.fit_and_publish()
             for write in applied:
                 if not write.ticket.done():  # a writer may have cancelled
                     write.ticket.set_result(snapshot.epoch)
             return snapshot
+        except Exception as exc:
+            # Fail-stop: surface the crash on every unresolved ticket (so
+            # awaiting writers unblock), then kill the worker. The journal
+            # holds the accepted prefix; recovery is the way back.
+            self._metrics.worker_failures += 1
+            for write in batch:
+                if write.ticket is not None and not write.ticket.done():
+                    write.ticket.set_exception(exc)
+                    # Mark retrieved: fire-and-forget writers must not spam
+                    # "exception was never retrieved" at GC; awaiting writers
+                    # still see the exception raised.
+                    write.ticket.exception()
+            raise
         finally:
             # After publication, so queue.join() == "all accepted writes are
             # readable or rejected" — the drain barrier.
@@ -191,6 +282,6 @@ class EMWorker:
                 self._queue.task_done()
 
     async def run(self) -> None:
-        """The worker task body: loop until cancelled."""
+        """The worker task body: loop until cancelled (or fail-stopped)."""
         while True:
             await self.step()
