@@ -1,13 +1,17 @@
 """Warm-started dirty-frontier EM vs a cold columnar refit: the per-round
 incremental inference benchmark.
 
-One measurement feeds the ``incremental`` section of ``BENCH_columnar.json``
+Two measurements feed the ``incremental`` section of ``BENCH_columnar.json``
 (merged into the existing report — the speedup/appender/sharding benchmarks
-own the other keys): a crowd-round-shaped delta (~50 answers from a small
-worker panel) lands on a 5,000-object dataset, and the warm-started
+own the other keys). First, a crowd-round-shaped delta (~50 answers from a
+small worker panel) lands on a 5,000-object dataset, and the warm-started
 ``fit(dataset, warm_start=prev)`` that re-converges only the dirty frontier
 is timed against the cold columnar fit of the identical final state, for TDH
-and Dawid-Skene.
+and Dawid-Skene. Second, a *slot-growth* round — the same 50 answers plus 10
+records introducing brand-new candidate values and a brand-new object — is
+timed the same way: the grown slot layout is served by scatter-expanding the
+warm per-slot state (``FrontierPlan.slot_map``), so the mixed delta rides
+the incremental path instead of falling back cold.
 
 The dataset is deliberately *sparse*: 5 claims per object (Heritages'
 mean is 5.6) drawn uniformly from a 15,000-source pool, so every claimant
@@ -49,8 +53,10 @@ N_SOURCES = 15000
 CLAIMS_PER_OBJECT = 5
 N_WORKERS = 7
 DELTA_ANSWERS = 50
+DELTA_RECORDS = 10
 REPEATS = 3
 MIN_INCREMENTAL_SPEEDUP = 5.0
+MIN_GROWTH_SPEEDUP = 3.0
 
 
 def make_sparse_dataset(
@@ -82,9 +88,8 @@ def make_sparse_dataset(
 def round_answers(dataset: TruthDiscoveryDataset, seed: int = 41) -> List[Answer]:
     """One crowd round: ``DELTA_ANSWERS`` answers from ``N_WORKERS`` workers
     on distinct objects, mostly truthful, restricted to existing candidate
-    values (a brand-new candidate would change the slot layout, which the
-    incremental path correctly refuses — that fallback is tested elsewhere;
-    here we benchmark the served path)."""
+    values — the answers-only delta leaves the slot layout untouched. (Slot
+    growth is benchmarked separately by the mixed round below.)"""
     rng = np.random.default_rng(seed)
     picks = rng.choice(len(dataset.objects), size=DELTA_ANSWERS, replace=False)
     answers = []
@@ -99,6 +104,26 @@ def round_answers(dataset: TruthDiscoveryDataset, seed: int = 41) -> List[Answer
         )
         answers.append(Answer(obj, f"bench_w{n % N_WORKERS}", value))
     return answers
+
+
+def growth_records(dataset: TruthDiscoveryDataset, seed: int = 43) -> List[Record]:
+    """The slot-growth half of the mixed round: ``DELTA_RECORDS`` records from
+    fresh sources — all but one naming a candidate value brand-new to an
+    existing object, the last one a brand-new object — so the delta grows the
+    slot layout (and the object axis) instead of just re-weighting it."""
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(dataset.objects), size=DELTA_RECORDS - 1, replace=False)
+    records = []
+    for n, i in enumerate(picks):
+        obj = dataset.objects[int(i)]
+        candidates = dataset.candidates(obj)
+        fresh = next(
+            v for v in dataset.hierarchy.non_root_nodes() if v not in candidates
+        )
+        records.append(Record(obj, f"growth_src_{n}", fresh))
+    new_value = next(iter(dataset.hierarchy.non_root_nodes()))
+    records.append(Record("growth_entity_new", "growth_src_new", new_value))
+    return records
 
 
 @pytest.fixture(scope="module")
@@ -120,27 +145,39 @@ def incremental_report(merge_bench_artifact):
         "objects": N_OBJECTS,
         "claims": N_OBJECTS * CLAIMS_PER_OBJECT + N_WORKERS,
         "delta_answers": DELTA_ANSWERS,
+        "delta_records": DELTA_RECORDS,
         "hops": 1,
         "algorithms": {},
     }
 
-    for name, factory in models.items():
+    def timed_round(factory, grow: bool) -> Dict[str, object]:
+        """Best-of-``REPEATS`` warm vs cold timing of one seeded round:
+        answers only, or (``grow=True``) answers plus the slot-growth
+        records. Each repeat primes its own warm result on a private copy
+        (the oplog-trim protocol from the module docstring)."""
         inc_best = float("inf")
-        inc_result = cold_result = None
+        inc_result = None
         for _ in range(REPEATS):
             ds = base.copy()
             model = factory(True)
             warm = model.fit(ds)
             for answer in round_answers(ds):
                 ds.add_answer(answer)
+            if grow:
+                for record in growth_records(ds):
+                    ds.add_record(record)
             t0 = time.perf_counter()
             inc_result = model.fit(ds, warm_start=warm)
             inc_best = min(inc_best, time.perf_counter() - t0)
 
-        cold_best = float("inf")
         ds_cold = base.copy()
         for answer in round_answers(ds_cold):
             ds_cold.add_answer(answer)
+        if grow:
+            for record in growth_records(ds_cold):
+                ds_cold.add_record(record)
+        cold_best = float("inf")
+        cold_result = None
         for _ in range(REPEATS):
             t0 = time.perf_counter()
             cold_result = factory(False).fit(ds_cold)
@@ -150,13 +187,18 @@ def incremental_report(merge_bench_artifact):
             inc_result.truth(obj) == cold_result.truth(obj)
             for obj in ds_cold.objects
         ) / len(ds_cold.objects)
-        report["algorithms"][name] = {
+        return {
             "cold_seconds": cold_best,
             "incremental_seconds": inc_best,
             "speedup": cold_best / inc_best if inc_best > 0 else float("inf"),
             "frontier_objects": inc_result.frontier_size,
             "truth_agreement": agree,
         }
+
+    for name, factory in models.items():
+        entry = timed_round(factory, grow=False)
+        entry["slot_growth"] = timed_round(factory, grow=True)
+        report["algorithms"][name] = entry
     merge_bench_artifact(incremental=report)
     return report
 
@@ -164,13 +206,15 @@ def incremental_report(merge_bench_artifact):
 def test_frontier_stays_partial_and_truths_agree(
     incremental_report, merge_bench_artifact
 ):
-    """Deterministic half: both algorithms served the delta incrementally
-    (frontier strictly smaller than the dataset) and the incremental result
-    names the same truths as the cold fit; the artifact section exists."""
+    """Deterministic half: both algorithms served both deltas — answers
+    only AND the mixed slot-growth round — incrementally (frontier strictly
+    smaller than the dataset) and the incremental result names the same
+    truths as the cold fit; the artifact section exists."""
     for name, algo in incremental_report["algorithms"].items():
-        assert algo["frontier_objects"] is not None, (name, algo)
-        assert 0 < algo["frontier_objects"] < N_OBJECTS, (name, algo)
-        assert algo["truth_agreement"] >= 0.999, (name, algo)
+        for label, stats in ((name, algo), (f"{name}+growth", algo["slot_growth"])):
+            assert stats["frontier_objects"] is not None, (label, stats)
+            assert 0 < stats["frontier_objects"] < N_OBJECTS, (label, stats)
+            assert stats["truth_agreement"] >= 0.999, (label, stats)
     assert "incremental" in json.loads(merge_bench_artifact.path.read_text())
 
 
@@ -180,3 +224,12 @@ def test_incremental_speedup_threshold(incremental_report):
     round beats the cold columnar fit by >= 5x on the TDH model."""
     algo = incremental_report["algorithms"]["TDH"]
     assert algo["speedup"] >= MIN_INCREMENTAL_SPEEDUP, incremental_report
+
+
+@pytest.mark.slow  # wall-clock assertion: only the non-blocking CI bench job
+def test_slot_growth_speedup_threshold(incremental_report):
+    """Timing half of the fixed cliff: the 50-answer + 10-record round —
+    which used to force a cold refit — still beats the cold columnar fit by
+    >= 3x on the TDH model now that slot growth rides the frontier."""
+    growth = incremental_report["algorithms"]["TDH"]["slot_growth"]
+    assert growth["speedup"] >= MIN_GROWTH_SPEEDUP, incremental_report

@@ -13,6 +13,15 @@ in-place-overwrite oplog clear (overwrite handling is covered functionally
 in ``tests/test_serving.py``; here we benchmark the hot path). Concurrent
 readers time ``get_truths`` over a fixed 32-object sample throughout the run.
 
+A *mixed-traffic* fixture then reruns a smaller load with answer writers
+plus a claims writer appending records that grow the slot layout — fresh
+sources naming brand-new candidate values, plus brand-new objects. Its
+``mixed_traffic`` artifact section records the steady-state incremental
+fraction (1.0 = every post-startup batch rode the frontier), the
+``warm_start_degradations`` counter (0 = the slot-growth splice served every
+record append warm), and truth agreement against a cold fit of a mirror
+dataset fed the identical stream.
+
 Results land in ``BENCH_service.json`` at the repo root (a separate artifact
 from ``BENCH_columnar.json`` — this one is service-level: writes/sec and
 read-latency percentiles, not per-engine speedups). Deterministic shape
@@ -60,6 +69,8 @@ MIN_WRITES_PER_SEC = 20.0
 MAX_READ_P99_US = 50_000.0
 MIN_JOURNAL_WRITES_PER_SEC = 10.0
 MAX_REPLAY_SECONDS = 30.0
+MIXED_WRITES_PER_WRITER = 24
+MIXED_CLAIMS = 12
 
 
 def make_sparse_dataset(seed: int = 29) -> TruthDiscoveryDataset:
@@ -103,6 +114,27 @@ def writer_stream(dataset: TruthDiscoveryDataset, writer_id: int, seed: int = 41
         )
         stream.append((obj, f"bench_w{writer_id}", value))
     return stream
+
+
+def claim_stream(dataset: TruthDiscoveryDataset, seed: int = 97):
+    """``(object, source, value)`` triples that grow the slot layout: fresh
+    sources naming a candidate value brand-new to each picked object, plus
+    two brand-new objects — every one an append (no overwrites), so the
+    warm-start gate must serve all of them incrementally."""
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(dataset.objects), size=MIXED_CLAIMS - 2, replace=False)
+    claims = []
+    for n, i in enumerate(picks):
+        obj = dataset.objects[int(i)]
+        candidates = dataset.candidates(obj)
+        fresh = next(
+            v for v in dataset.hierarchy.non_root_nodes() if v not in candidates
+        )
+        claims.append((obj, f"mx_src_{n}", fresh))
+    value = next(iter(dataset.hierarchy.non_root_nodes()))
+    claims.append(("mx_entity_a", "mx_src_new_a", value))
+    claims.append(("mx_entity_b", "mx_src_new_b", value))
+    return claims
 
 
 @pytest.fixture(scope="module")
@@ -301,6 +333,91 @@ def journal_report(serving_report, tmp_path_factory) -> Dict[str, object]:
     }
 
 
+@pytest.fixture(scope="module")
+def mixed_report(serving_report) -> Dict[str, object]:
+    """Mixed claim+answer traffic: answer writers plus a claims writer whose
+    records grow the slot layout (brand-new candidate values, brand-new
+    objects). Steady state must stay on the incremental path — the
+    slot-growth splice, not a cold refit, absorbs each record append — and
+    the served truths must track a cold fit of the identical final state.
+    Merges a ``mixed_traffic`` section into the artifact."""
+    base = make_sparse_dataset()
+    mirror = make_sparse_dataset()
+    answer_streams = [
+        writer_stream(base, k)[:MIXED_WRITES_PER_WRITER] for k in range(N_WRITERS)
+    ]
+    claims = claim_stream(base)
+    total_writes = N_WRITERS * MIXED_WRITES_PER_WRITER + MIXED_CLAIMS
+
+    async def load() -> Dict[str, object]:
+        service = TruthService(
+            base,
+            TDHModel(use_columnar=True, incremental=True),
+            max_pending=512,
+            batch_max=BATCH_MAX,
+        )
+
+        async def answer_writer(stream) -> None:
+            for n, (obj, worker, value) in enumerate(stream):
+                await service.append_answer(obj, worker, value)
+                if n % 8 == 0:
+                    await asyncio.sleep(0)
+
+        async def claims_writer() -> None:
+            for obj, source, value in claims:
+                await service.append_claim(obj, source, value)
+                await asyncio.sleep(0)  # interleave with the answer writers
+
+        async with service:
+            t_start = time.perf_counter()
+            await asyncio.gather(
+                claims_writer(), *(answer_writer(s) for s in answer_streams)
+            )
+            final = await service.drain()
+            run_seconds = time.perf_counter() - t_start
+        return {
+            "stats": service.stats(),
+            "final_truths": dict(final.truths),
+            "run_seconds": run_seconds,
+        }
+
+    outcome = asyncio.run(load())
+    stats = outcome["stats"]
+
+    for stream in answer_streams:
+        for obj, worker, value in stream:
+            mirror.add_answer(Answer(obj, worker, value))
+    for obj, source, value in claims:
+        mirror.add_record(Record(obj, source, value))
+    cold_truths = TDHModel(use_columnar=True).fit(mirror).truths()
+    final_truths = outcome["final_truths"]
+    agreement = float(
+        np.mean([final_truths[o] == t for o, t in cold_truths.items()])
+    )
+
+    section: Dict[str, object] = {
+        "objects": N_OBJECTS,
+        "answers": N_WRITERS * MIXED_WRITES_PER_WRITER,
+        "claims": MIXED_CLAIMS,
+        "new_objects": 2,
+        "writes": total_writes,
+        "writes_applied": stats["writes_applied"],
+        "run_seconds": outcome["run_seconds"],
+        "writes_per_sec": stats["writes_applied"] / outcome["run_seconds"],
+        "batches": stats["batches"],
+        "fits_incremental": stats["fits_incremental"],
+        "fits_cold": stats["fits_cold"],
+        "incremental_fraction": stats["fits_incremental"] / max(stats["batches"], 1),
+        "warm_start_degradations": stats["warm_start_degradations"],
+        "warm_start_degradation_reasons": stats["warm_start_degradation_reasons"],
+        "truth_agreement": agreement,
+    }
+    artifact = json.loads(ARTIFACT.read_text())
+    artifact["mixed_traffic"] = section
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    return section
+
+
 def test_every_write_applied_and_truths_match_cold_fit(serving_report):
     """Deterministic half: the load was fully absorbed (no rejects, every
     write published), the steady state ran incrementally, and the served
@@ -330,6 +447,22 @@ def test_journaled_load_is_durable_and_recovery_is_exact(journal_report):
     artifact = json.loads(ARTIFACT.read_text())
     assert artifact["journal"]["writes"] == TOTAL_WRITES
     assert artifact["recovery"]["writes_replayed"] == TOTAL_WRITES
+
+
+def test_mixed_traffic_stays_incremental_with_zero_degradations(mixed_report):
+    """Deterministic half of the fixed cliff, service-level: under mixed
+    claim+answer traffic every write is absorbed, every post-startup batch
+    is served on the incremental path (the slot-growth splice — the record
+    appends never degrade the warm start), and the served truths track a
+    cold fit of the identical final state."""
+    assert mixed_report["writes_applied"] == mixed_report["writes"]
+    assert mixed_report["fits_cold"] == 1  # the epoch-0 startup fit, only
+    assert mixed_report["incremental_fraction"] == 1.0, mixed_report
+    assert mixed_report["warm_start_degradations"] == 0, mixed_report
+    assert mixed_report["warm_start_degradation_reasons"] == {}, mixed_report
+    assert mixed_report["truth_agreement"] >= 0.999, mixed_report
+    artifact = json.loads(ARTIFACT.read_text())
+    assert artifact["mixed_traffic"]["warm_start_degradations"] == 0
 
 
 @pytest.mark.slow  # wall-clock assertion: only the non-blocking CI bench job

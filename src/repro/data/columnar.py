@@ -196,6 +196,41 @@ class ClaimantObjectsIndex:
         return self.objects[csr_expand(self.offsets[cids], counts[cids])]
 
 
+#: Observable lifecycle counters for the pair expansion: how many times the
+#: O(pairs log pairs) cold ``np.unique`` factorization ran vs the O(delta)
+#: splice paths. Tests and benchmarks read these instead of monkeypatching
+#: ``PairExpansion.__init__``; any cold rebuild on an append path shows up
+#: here instead of silently costing a factorization.
+PAIR_EXPANSION_STATS = {"cold_builds": 0, "spliced": 0, "spliced_slot_growth": 0}
+
+
+def _resolve_pair_keys(lookup, table: np.ndarray, keys: np.ndarray):
+    """Appended confusion keys -> dense ids (existing, or appended to the
+    table), updating the sorted ``(keys, ids)`` lookup; O(delta log cells +
+    cells), no per-pair work at all."""
+    sorted_keys, sorted_ids = lookup
+    uniq, inv = np.unique(keys, return_inverse=True)
+    if len(sorted_keys):
+        at = np.searchsorted(sorted_keys, uniq)
+        hit = at < len(sorted_keys)
+        hit[hit] = sorted_keys[at[hit]] == uniq[hit]
+    else:
+        at = np.zeros(len(uniq), dtype=np.intp)
+        hit = np.zeros(len(uniq), dtype=bool)
+    fresh = uniq[~hit]
+    ids_of_uniq = np.empty(len(uniq), dtype=np.intp)
+    ids_of_uniq[hit] = sorted_ids[at[hit]]
+    ids_of_uniq[~hit] = len(table) + np.arange(len(fresh), dtype=np.intp)
+    if len(fresh):
+        pos = np.searchsorted(sorted_keys, fresh)
+        lookup = (
+            np.insert(sorted_keys, pos, fresh),
+            np.insert(sorted_ids, pos, ids_of_uniq[~hit]),
+        )
+        table = np.concatenate([table, fresh])
+    return table, ids_of_uniq[inv], lookup
+
+
 class PairExpansion:
     """The claim x candidate cross-join used by confusion-matrix EM steps.
 
@@ -225,6 +260,7 @@ class PairExpansion:
     """
 
     def __init__(self, col: "ColumnarClaims") -> None:
+        PAIR_EXPANSION_STATS["cold_builds"] += 1
         sizes_per_claim = col.sizes[col.claim_obj]
         self.pair_claim = np.repeat(
             np.arange(len(col.claim_obj), dtype=np.int64), sizes_per_claim
@@ -253,6 +289,13 @@ class PairExpansion:
         #: under; identity here, composed across renumberings by `spliced`.
         self.claimant_stable = np.arange(col.n_claimants, dtype=np.int64)
         self.n_stable = col.n_claimants
+        #: Same construction on the value axis: current value id -> the id
+        #: its keys were first factorized under, and the key radix. A value
+        #: re-rank or a brand-new value (slot growth) composes these in
+        #: :meth:`spliced_slot_growth` so existing cell keys never move.
+        self.value_stable = np.arange(len(col.values), dtype=np.int64)
+        self.n_value_stable = len(col.values)
+        self.value_base = n_values
         # Sorted (keys, ids) views for O(log) key resolution in `spliced`;
         # a cold table is already key-sorted, so these share its arrays.
         self._cell_lookup = (self.cells, np.arange(self.n_cells, dtype=np.intp))
@@ -288,6 +331,7 @@ class PairExpansion:
         ids, which this method composes with the renumbering — so a re-rank
         costs O(claimants) and touches no key, no table and no pair.
         """
+        PAIR_EXPANSION_STATS["spliced"] += 1
         new = cls.__new__(cls)
         sizes_per_claim = col.sizes[col.claim_obj]
         offsets = np.concatenate(([0], np.cumsum(sizes_per_claim))).astype(np.int64)
@@ -343,43 +387,25 @@ class PairExpansion:
         new.claimant_stable = stable
         new.n_stable = old.n_stable + n_added
 
-        # Confusion keys for the appended pairs only, under stable ids.
-        n_values = max(len(col.values), 1)
+        # Confusion keys for the appended pairs only, under stable ids. No
+        # slot change means no new values and no value re-rank, but a
+        # *previous* growth splice may have left the keys under non-identity
+        # stable value ids / a wider radix — carry both forward.
+        new.value_stable = old.value_stable
+        new.n_value_stable = old.n_value_stable
+        new.value_base = old.value_base
+        vstable = old.value_stable
+        base = old.value_base
         total_key_ins = (
-            stable[col.claim_claimant[ins_claim_of_row]] * n_values
-            + col.slot_vid[ins_slot]
+            stable[col.claim_claimant[ins_claim_of_row]] * base
+            + vstable[col.slot_vid[ins_slot]]
         )
-        cell_key_ins = total_key_ins * n_values + col.claim_vid[ins_claim_of_row]
+        cell_key_ins = total_key_ins * base + vstable[col.claim_vid[ins_claim_of_row]]
 
-        def resolve(lookup, table: np.ndarray, keys: np.ndarray):
-            """Appended keys -> ids (existing, or appended to the table);
-            O(delta log cells + cells), no per-pair work at all."""
-            sorted_keys, sorted_ids = lookup
-            uniq, inv = np.unique(keys, return_inverse=True)
-            if len(sorted_keys):
-                at = np.searchsorted(sorted_keys, uniq)
-                hit = at < len(sorted_keys)
-                hit[hit] = sorted_keys[at[hit]] == uniq[hit]
-            else:
-                at = np.zeros(len(uniq), dtype=np.intp)
-                hit = np.zeros(len(uniq), dtype=bool)
-            fresh = uniq[~hit]
-            ids_of_uniq = np.empty(len(uniq), dtype=np.intp)
-            ids_of_uniq[hit] = sorted_ids[at[hit]]
-            ids_of_uniq[~hit] = len(table) + np.arange(len(fresh), dtype=np.intp)
-            if len(fresh):
-                pos = np.searchsorted(sorted_keys, fresh)
-                lookup = (
-                    np.insert(sorted_keys, pos, fresh),
-                    np.insert(sorted_ids, pos, ids_of_uniq[~hit]),
-                )
-                table = np.concatenate([table, fresh])
-            return table, ids_of_uniq[inv], lookup
-
-        new.cells, cell_ins_ids, new._cell_lookup = resolve(
+        new.cells, cell_ins_ids, new._cell_lookup = _resolve_pair_keys(
             old._cell_lookup, old.cells, cell_key_ins
         )
-        new.totals, total_ins_ids, new._total_lookup = resolve(
+        new.totals, total_ins_ids, new._total_lookup = _resolve_pair_keys(
             old._total_lookup, old.totals, total_key_ins
         )
         new.n_cells = len(new.cells)
@@ -395,6 +421,150 @@ class PairExpansion:
         new.pair_is_claimed = cat(old.pair_is_claimed, ins_claimed)
         new.cell_index = cat(old.cell_index, cell_ins_ids)
         new.total_index = cat(old.total_index, total_ins_ids)
+        return new
+
+    @classmethod
+    def spliced_slot_growth(
+        cls,
+        old: "PairExpansion",
+        col: "ColumnarClaims",
+        prev_col: "ColumnarClaims",
+        inserted_claims: np.ndarray,
+        claimant_remap: Optional[np.ndarray] = None,
+        value_remap: Optional[np.ndarray] = None,
+    ) -> "PairExpansion":
+        """The splice for extensions that *grow the slot layout* — appended
+        objects or brand-new candidate values, the case :meth:`spliced`'s
+        precondition excludes and the appender used to rebuild cold.
+
+        Growth shifts every later pair's slot id and re-sizes every grown
+        claim's pair run, so the cheap layout arrays (``pair_slot``,
+        ``pair_size``, ...) are recomputed wholesale with the same O(pairs)
+        vectorized expressions as a cold build. What the splice preserves is
+        the expensive part: the confusion-cell *factorization*. Candidates
+        are append-only per object and objects append at the tail, so an old
+        claim's old pair run maps onto the head of its new run with the same
+        (truth candidate, claimed value) at every position — the old
+        ``cell_index`` / ``total_index`` entries are still exactly right and
+        are relocated with one scatter. Only the genuinely fresh rows (tail
+        candidates of grown objects' claims, plus the inserted claims' full
+        runs) pay key resolution against the sorted lookup.
+
+        ``value_remap`` composes a value re-rank (an insert pulling a
+        value's first occurrence forward) into :attr:`value_stable`, exactly
+        as ``claimant_remap`` does for claimants. When the stable value ids
+        outgrow the key radix, the O(cells) key tables are re-encoded under
+        a wider base — order-preserving, so the sorted lookups stay sorted.
+        """
+        PAIR_EXPANSION_STATS["spliced_slot_growth"] += 1
+        new = cls.__new__(cls)
+
+        # --- stable claimant ids, exactly as in `spliced`.
+        n_added = col.n_claimants - len(old.claimant_stable)
+        if n_added:
+            provisional = np.concatenate(
+                [old.claimant_stable, old.n_stable + np.arange(n_added, dtype=np.int64)]
+            )
+        else:
+            provisional = old.claimant_stable
+        if claimant_remap is not None:
+            stable = np.empty_like(provisional)
+            stable[claimant_remap] = provisional
+        else:
+            stable = provisional
+        new.claimant_stable = stable
+        new.n_stable = old.n_stable + n_added
+
+        # --- stable value ids: the same construction on the value axis.
+        n_vadded = len(col.values) - len(old.value_stable)
+        if n_vadded:
+            vprov = np.concatenate(
+                [old.value_stable, old.n_value_stable + np.arange(n_vadded, dtype=np.int64)]
+            )
+        else:
+            vprov = old.value_stable
+        if value_remap is not None:
+            vstable = np.empty_like(vprov)
+            vstable[value_remap] = vprov
+        else:
+            vstable = vprov
+        new.value_stable = vstable
+        new.n_value_stable = old.n_value_stable + n_vadded
+
+        # --- widen the key radix (with headroom) when stable value ids
+        # outgrow it; re-encoding keys under a larger base preserves the
+        # (claimant, truth, claimed) lexicographic order, so the sorted
+        # lookups stay sorted and old ids stay put.
+        base = old.value_base
+        cells, totals = old.cells, old.totals
+        cell_lookup, total_lookup = old._cell_lookup, old._total_lookup
+        if new.n_value_stable > base:
+            wider = max(2 * base, new.n_value_stable)
+
+            def rekey_cells(keys: np.ndarray) -> np.ndarray:
+                c, rem = np.divmod(keys, base * base)
+                t, v = np.divmod(rem, base)
+                return (c * wider + t) * wider + v
+
+            def rekey_totals(keys: np.ndarray) -> np.ndarray:
+                c, t = np.divmod(keys, base)
+                return c * wider + t
+
+            cells = rekey_cells(cells)
+            totals = rekey_totals(totals)
+            cell_lookup = (rekey_cells(cell_lookup[0]), cell_lookup[1])
+            total_lookup = (rekey_totals(total_lookup[0]), total_lookup[1])
+            base = wider
+        new.value_base = base
+
+        # --- layout arrays, recomputed wholesale (the cheap half of a cold
+        # build; the growth moved every later slot id, so per-row adjustment
+        # would cost the same O(pairs) anyway).
+        sizes_per_claim = col.sizes[col.claim_obj]
+        n_claims_new = len(col.claim_obj)
+        new.pair_claim = np.repeat(
+            np.arange(n_claims_new, dtype=np.int64), sizes_per_claim
+        )
+        new.pair_slot = csr_expand(col.value_offsets[col.claim_obj], sizes_per_claim)
+        new.pair_size = sizes_per_claim[new.pair_claim].astype(np.float64)
+        new.pair_is_claimed = new.pair_slot == col.claim_slot[new.pair_claim]
+
+        # --- relocate the old cell/total ids: old claim k is the k-th kept
+        # claim of the new table (inserts preserve relative order), and its
+        # old pair run lands on the first |Vo_old| rows of its new run.
+        new_offsets = np.concatenate(([0], np.cumsum(sizes_per_claim))).astype(np.int64)
+        keep = np.ones(n_claims_new, dtype=bool)
+        keep[inserted_claims] = False
+        old_sizes = prev_col.sizes[prev_col.claim_obj]
+        dst = csr_expand(new_offsets[:-1][keep], old_sizes)
+        n_pairs_new = int(new_offsets[-1])
+        cell_index = np.empty(n_pairs_new, dtype=old.cell_index.dtype)
+        total_index = np.empty(n_pairs_new, dtype=old.total_index.dtype)
+        cell_index[dst] = old.cell_index
+        total_index[dst] = old.total_index
+        fresh = np.ones(n_pairs_new, dtype=bool)
+        fresh[dst] = False
+        fresh_rows = np.flatnonzero(fresh)
+
+        # --- only the fresh rows pay key resolution.
+        f_claim = new.pair_claim[fresh_rows]
+        total_key_f = (
+            stable[col.claim_claimant[f_claim]] * base
+            + vstable[col.slot_vid[new.pair_slot[fresh_rows]]]
+        )
+        cell_key_f = total_key_f * base + vstable[col.claim_vid[f_claim]]
+        new.cells, cell_f_ids, new._cell_lookup = _resolve_pair_keys(
+            cell_lookup, cells, cell_key_f
+        )
+        new.totals, total_f_ids, new._total_lookup = _resolve_pair_keys(
+            total_lookup, totals, total_key_f
+        )
+        new.n_cells = len(new.cells)
+        new.n_totals = len(new.totals)
+        cell_index[fresh_rows] = cell_f_ids
+        total_index[fresh_rows] = total_f_ids
+        new.cell_index = cell_index
+        new.total_index = total_index
         return new
 
 
@@ -778,7 +948,12 @@ class ColumnarClaims(SegmentOps):
             self._claimant_objects = ClaimantObjectsIndex.build(self)
         return self._claimant_objects
 
-    def frontier(self, dirty_oids: np.ndarray, hops: int = 1) -> np.ndarray:
+    def frontier(
+        self,
+        dirty_oids: np.ndarray,
+        hops: int = 1,
+        return_claimants: bool = False,
+    ) -> np.ndarray:
         """The dirty-object frontier: object ids whose posteriors an
         incremental EM must re-converge after ``dirty_oids`` changed.
 
@@ -788,13 +963,17 @@ class ColumnarClaims(SegmentOps):
         covers trust drift reaching ``h`` claimant links away); ``hops=0``
         returns the dirty set itself. Expansion stops early at a fixed point
         or when the frontier saturates to the whole corpus (callers treat
-        saturation as "run a full fit"). Returns sorted unique object ids.
+        saturation as "run a full fit"). Returns sorted unique object ids;
+        with ``return_claimants`` also the sorted union of claimant ids
+        encountered while expanding (the coverage witness
+        :func:`incremental_frontier` stores for cross-round reuse).
         """
         frontier = np.unique(np.asarray(dirty_oids, dtype=np.int64))
         if len(frontier) and (frontier[0] < 0 or frontier[-1] >= self.n_objects):
             raise IndexError("dirty object id out of range")
         index = None
         claim_counts = None
+        cids_all = np.zeros(0, dtype=np.int64)
         for _ in range(max(int(hops), 0)):
             if len(frontier) >= self.n_objects:
                 break
@@ -805,12 +984,15 @@ class ColumnarClaims(SegmentOps):
                 self.claim_offsets[frontier], claim_counts[frontier]
             )
             cids = np.unique(self.claim_claimant[rows])
+            cids_all = np.union1d(cids_all, cids)
             grown = np.unique(
                 np.concatenate([frontier, index.objects_of(cids)])
             )
             if len(grown) == len(frontier):
                 break
             frontier = grown
+        if return_claimants:
+            return frontier, cids_all
         return frontier
 
     @property
@@ -1356,6 +1538,7 @@ class ColumnarAppender:
         # ---- slot arrays: untouched when the delta is answers-only (the
         # crowdsourcing hot path); otherwise splice the new candidate slots
         # and rebuild the touched objects' hierarchy CSR blocks.
+        value_remap = None
         if slot_changed:
             added_values: List = []
             added_value_index: Dict = {}
@@ -1424,6 +1607,7 @@ class ColumnarAppender:
                 values = [values[i] for i in vorder]
                 value_index = {value: i for i, value in enumerate(values)}
                 vfirst = vfirst[vorder]
+                value_remap = vremap  # provisional id -> re-ranked id
 
             # Slot-level ancestor CSR: keep untouched objects' blocks (slot
             # ids shifted by their object's new start), rebuild touched ones
@@ -1512,20 +1696,30 @@ class ColumnarAppender:
         new._slot_anc_slots = slot_anc_slots
         new._obj_has_hierarchy = obj_has_hierarchy
         new._tree = col._tree
-        # Pair expansion: when the slot layout is untouched (the
-        # crowdsourcing hot path — answers, or records re-claiming existing
-        # candidates), an already-built cross-join is *spliced* — only the
-        # appended claims' pair rows are computed, and the confusion-cell
-        # key tables are remapped (claimant renumbering included) — instead
-        # of being re-factorized from scratch on the next fit. A never-built
-        # expansion stays lazy; slot moves fall back to the cold rebuild
-        # (every pair's candidate ids would shift).
-        if col._pairs is not None and not slot_changed:
+        # Pair expansion: an already-built cross-join is carried forward on
+        # every append instead of being re-factorized on the next fit. When
+        # the slot layout is untouched (answers, or records re-claiming
+        # existing candidates) only the appended claims' pair rows are
+        # computed; slot growth (new objects / brand-new candidate values)
+        # takes the heavier `spliced_slot_growth` path, which recomputes the
+        # pair layout but keeps the confusion-cell factorization. Either
+        # way the cold `np.unique` never reruns (PAIR_EXPANSION_STATS
+        # observes this); a never-built expansion stays lazy.
+        if col._pairs is None:
+            new._pairs = None
+        elif slot_changed:
+            new._pairs = PairExpansion.spliced_slot_growth(
+                col._pairs,
+                new,
+                col,
+                final_ins,
+                claimant_remap=claimant_remap,
+                value_remap=value_remap,
+            )
+        else:
             new._pairs = PairExpansion.spliced(
                 col._pairs, new, final_ins, claimant_remap=claimant_remap
             )
-        else:
-            new._pairs = None
         # The claimant -> objects CSR is slot-independent, so a built index
         # is spliced forward on every append (the frontier computation of
         # the incremental EM fits relies on this staying O(delta + tables)).
@@ -1549,25 +1743,119 @@ class ColumnarAppender:
         return new
 
 
+class FrontierPlan:
+    """The servable-delta plan returned by :func:`incremental_frontier`.
+
+    Iterates as the historical ``(col, frontier, ops)`` triple; the extra
+    fields describe how the slot layout moved between the warm fit and now,
+    so incremental fits can scatter-expand their per-slot state into the
+    grown layout instead of degrading cold.
+    """
+
+    def __init__(
+        self,
+        col: ColumnarClaims,
+        frontier: np.ndarray,
+        ops: List[tuple],
+        *,
+        prev_n_objects: int,
+        prev_n_slots: int,
+        slot_map: Optional[np.ndarray] = None,
+        frontier_state: Optional[dict] = None,
+        frontier_reused: bool = False,
+    ) -> None:
+        self.col = col
+        self.frontier = frontier
+        self.ops = ops
+        #: Shapes of the encoding the warm state was fitted on.
+        self.prev_n_objects = prev_n_objects
+        self.prev_n_slots = prev_n_slots
+        #: Old slot id -> new slot id; ``None`` when the layout is unchanged.
+        self.slot_map = slot_map
+        #: ``{"version", "hops", "frontier", "cids"}``; models attach it to
+        #: their incremental results (``result.frontier_state``) and pass it
+        #: back as ``reuse=`` next round.
+        self.frontier_state = frontier_state
+        #: True when the previous round's stored frontier covered this
+        #: round's delta and was reused without a BFS.
+        self.frontier_reused = frontier_reused
+        self._new_slot_mask: Optional[np.ndarray] = None
+
+    def __iter__(self):
+        yield self.col
+        yield self.frontier
+        yield self.ops
+
+    @property
+    def grew(self) -> bool:
+        """True when the window appended objects or candidate slots."""
+        return self.slot_map is not None
+
+    @property
+    def new_slot_mask(self) -> np.ndarray:
+        """Boolean mask over current slots: True where the slot did not exist
+        in the previous layout. New slots always belong to frontier objects —
+        only a record on a (by construction dirty) object creates them."""
+        if self._new_slot_mask is None:
+            mask = np.ones(self.col.n_slots, dtype=bool)
+            if self.slot_map is not None:
+                mask[self.slot_map] = False
+            else:
+                mask[:] = False
+            self._new_slot_mask = mask
+        return self._new_slot_mask
+
+    def expand_slots(self, flat: np.ndarray, fill: float = 0.0) -> np.ndarray:
+        """Scatter previous-layout per-slot state into the current layout.
+
+        New slots get ``fill``. The incremental kernels' re-based global
+        reductions use the expanded array only as accumulation *weights*, so
+        the default 0.0 makes them ignore exactly the rows their stored
+        totals never contained — the subtraction stays exact.
+        """
+        if self.slot_map is None:
+            return np.array(flat, dtype=np.float64, copy=True)
+        out = np.full(self.col.n_slots, fill, dtype=np.float64)
+        out[self.slot_map] = flat
+        return out
+
+
 def incremental_frontier(
     dataset: "TruthDiscoveryDataset",
     prev_col: Optional[ColumnarClaims],
     hops: int = 1,
-) -> Optional[Tuple[ColumnarClaims, np.ndarray, List[tuple]]]:
+    reuse: Optional[dict] = None,
+) -> Optional[FrontierPlan]:
     """The shared guard chain of the incremental EM fits.
 
     Decides whether the delta between ``prev_col`` (the encoding a previous
     fit ran on) and ``dataset``'s current state is servable incrementally,
-    and if so computes the dirty-object frontier. Returns ``(col, frontier,
-    ops)`` — the current encoding, sorted frontier object ids, and the
-    appendable ops of the window — or ``None`` when the fit must run cold:
+    and if so computes the dirty-object frontier. Returns a
+    :class:`FrontierPlan` (iterable as the historical ``(col, frontier,
+    ops)`` triple) or ``None`` when the fit must run cold:
 
     * ``prev_col`` is missing or belongs to another dataset's lineage;
     * the op window is unservable (overwrite poisoned the log, or the
       ``MAX_OPLOG`` cap trimmed past ``prev_col.version`` — the
-      ``_oplog_base`` check);
-    * the slot layout moved (an append introduced objects or candidate
-      slots, so per-slot state from the previous fit no longer aligns).
+      ``_oplog_base`` check).
+
+    Slot-layout *growth* — appended objects or candidate slots — is
+    servable: objects and each object's candidates are append-stable, so the
+    plan's ``slot_map`` (one ``csr_expand`` over the old per-object sizes)
+    relocates every old slot into the new layout and
+    :meth:`FrontierPlan.expand_slots` scatter-expands per-slot warm state
+    accordingly. New slots only ever belong to dirty objects (a record
+    append marks its object dirty), so the frontier re-converges them from
+    scratch like any other frontier slot.
+
+    ``reuse`` is a previous plan's ``frontier_state``. When this round's
+    dirty objects and their claimants are contained in the stored frontier
+    and claimant union (consecutive overlapping deltas — the serving steady
+    state), the stored frontier is reused without a BFS: a superset frontier
+    is always sound, it merely re-converges extra objects, and for
+    ``hops=1`` containment of the dirty set and its claimants guarantees the
+    stored set *is* a superset of the fresh 1-hop closure. Deeper hops
+    recompute.
 
     The ops are captured **before** ``dataset.columnar()`` — that call
     curtails the log to the current version, which would empty the window.
@@ -1581,9 +1869,64 @@ def incremental_frontier(
         return None
     dirty_objects, ops = delta
     col = dataset.columnar()
-    if col.n_objects != prev_col.n_objects or col.n_slots != prev_col.n_slots:
-        return None
-    dirty = np.asarray(
-        [col.object_index[obj] for obj in dirty_objects], dtype=np.int64
+    if col.n_objects < prev_col.n_objects or col.n_slots < prev_col.n_slots:
+        return None  # shrinkage cannot come from appends; refuse defensively
+    # Map the dirty set through the *current* encoding: a window that appends
+    # an object names ids only this encoding knows, and repeated touches of
+    # one object must collapse to one dirty id.
+    dirty = np.unique(
+        np.asarray([col.object_index[obj] for obj in dirty_objects], dtype=np.int64)
     )
-    return col, col.frontier(dirty, hops=hops), ops
+    slot_map = None
+    if col.n_objects != prev_col.n_objects or col.n_slots != prev_col.n_slots:
+        slot_map = csr_expand(
+            col.value_offsets[: prev_col.n_objects],
+            np.diff(prev_col.value_offsets),
+        )
+    frontier = None
+    cids = None
+    reused = False
+    if (
+        reuse is not None
+        and hops == 1
+        and reuse.get("hops") == 1
+        and reuse.get("version") == prev_col.version
+        and len(dirty)
+    ):
+        # Object ids are append-stable, but claimant ids can be re-ranked by
+        # an insert pulling a first occurrence forward — so the stored
+        # claimant ids are only trusted while the current claimant table is
+        # an extension of the stored one (``is`` covers the answers-only
+        # steady state, where the appender reuses the list object).
+        stored_claimants = reuse.get("claimants", ())
+        prefix_ok = stored_claimants is col.claimants or (
+            len(col.claimants) >= len(stored_claimants)
+            and col.claimants[: len(stored_claimants)] == stored_claimants
+        )
+        if prefix_ok:
+            prev_frontier = reuse["frontier"]
+            claim_counts = np.diff(col.claim_offsets)
+            rows = csr_expand(col.claim_offsets[dirty], claim_counts[dirty])
+            dirty_cids = np.unique(col.claim_claimant[rows])
+            if bool(np.all(np.isin(dirty, prev_frontier))) and bool(
+                np.all(np.isin(dirty_cids, reuse["cids"]))
+            ):
+                frontier, cids, reused = prev_frontier, reuse["cids"], True
+    if frontier is None:
+        frontier, cids = col.frontier(dirty, hops=hops, return_claimants=True)
+    return FrontierPlan(
+        col,
+        frontier,
+        ops,
+        prev_n_objects=prev_col.n_objects,
+        prev_n_slots=prev_col.n_slots,
+        slot_map=slot_map,
+        frontier_state={
+            "version": col.version,
+            "hops": hops,
+            "frontier": frontier,
+            "cids": cids,
+            "claimants": col.claimants,
+        },
+        frontier_reused=reused,
+    )

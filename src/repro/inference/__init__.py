@@ -4,6 +4,7 @@ from .base import (
     ColumnarInferenceResult,
     InferenceResult,
     TruthInferenceAlgorithm,
+    WarmStartDegradation,
     initial_confidences,
 )
 from .tdh import TDHModel, TDHResult
@@ -27,6 +28,7 @@ __all__ = [
     "TruthInferenceAlgorithm",
     "InferenceResult",
     "ColumnarInferenceResult",
+    "WarmStartDegradation",
     "initial_confidences",
     "TDHModel",
     "TDHResult",

@@ -11,12 +11,143 @@ from __future__ import annotations
 
 import abc
 import warnings
+from collections.abc import Mapping as AbstractMapping
 from typing import Dict, Hashable, List, Mapping, Optional, Set
 
 import numpy as np
 
 from ..data.model import ObjectId, TruthDiscoveryDataset
 from ..hierarchy.tree import Value
+
+
+class LazyConfidences(AbstractMapping):
+    """``object -> confidence vector`` sliced lazily off one flat slot array.
+
+    The columnar fits used to materialise this dict eagerly — an
+    O(n_objects) Python loop that dominated incremental refits once the
+    frontier shrank below the corpus. This read-only view keeps just the
+    encoding and the flat array; each lookup slices the object's slot run
+    (a numpy view, no copy), so building a result costs O(1) regardless of
+    corpus size. ``dict(view)`` materialises when a mutable copy is needed.
+    """
+
+    def __init__(self, columnar, flat: np.ndarray) -> None:
+        self._col = columnar
+        self._flat = flat
+
+    def __getitem__(self, obj: ObjectId) -> np.ndarray:
+        col = self._col
+        oid = col.object_index[obj]
+        return self._flat[col.value_offsets[oid] : col.value_offsets[oid + 1]]
+
+    def __iter__(self):
+        return iter(self._col.objects)
+
+    def __len__(self) -> int:
+        return self._col.n_objects
+
+    def __contains__(self, obj: object) -> bool:
+        return obj in self._col.object_index
+
+    def __eq__(self, other: object) -> bool:
+        # The Mapping mixin compares via ``dict(self) == dict(other)``, which
+        # raises on ndarray values; compare per key instead.
+        if not isinstance(other, AbstractMapping):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        missing = object()
+        return all(
+            np.array_equal(vec, other.get(obj, missing)) for obj, vec in self.items()
+        )
+
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self._col.n_objects} objects)"
+
+
+class LazyTruths(AbstractMapping):
+    """``object -> argmax truth`` computed on demand off the flat array.
+
+    Single reads (the serving hot path) pay one small-slice ``argmax``; bulk
+    access (``items()``/``values()``/equality) materialises the full dict
+    once with the vectorized per-segment argmax and caches it. Compares
+    equal to a plain dict with the same contents (the :class:`Mapping` ABC
+    contract), so pinned ``snapshot.truths == cold.truths()`` tests hold.
+    """
+
+    def __init__(self, columnar, flat: np.ndarray) -> None:
+        self._col = columnar
+        self._flat = flat
+        self._dense: Optional[Dict[ObjectId, Value]] = None
+
+    def _materialize(self) -> Dict[ObjectId, Value]:
+        if self._dense is None:
+            col = self._col
+            slots = col.segment_argmax_slot(self._flat)
+            vids = col.slot_vid[slots]
+            self._dense = {obj: col.values[vid] for obj, vid in zip(col.objects, vids)}
+        return self._dense
+
+    def __getitem__(self, obj: ObjectId) -> Value:
+        if self._dense is not None:
+            return self._dense[obj]
+        col = self._col
+        oid = col.object_index[obj]
+        lo = int(col.value_offsets[oid])
+        hi = int(col.value_offsets[oid + 1])
+        return col.values[col.slot_vid[lo + int(np.argmax(self._flat[lo:hi]))]]
+
+    def __iter__(self):
+        return iter(self._col.objects)
+
+    def __len__(self) -> int:
+        return self._col.n_objects
+
+    def __contains__(self, obj: object) -> bool:
+        return obj in self._col.object_index
+
+    def items(self):
+        return self._materialize().items()
+
+    def values(self):
+        return self._materialize().values()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbstractMapping):
+            return NotImplemented
+        return self._materialize() == dict(other)
+
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self._col.n_objects} objects)"
+
+
+class LazyObjectScalars(AbstractMapping):
+    """``object -> float`` view over one per-object array (e.g. the TDH
+    confidence denominators), replacing an O(n_objects) ``dict(zip(...))``
+    at result-construction time with O(1)."""
+
+    def __init__(self, columnar, values: np.ndarray) -> None:
+        self._col = columnar
+        self._values = values
+
+    def __getitem__(self, obj: ObjectId) -> float:
+        return float(self._values[self._col.object_index[obj]])
+
+    def __iter__(self):
+        return iter(self._col.objects)
+
+    def __len__(self) -> int:
+        return self._col.n_objects
+
+    def __contains__(self, obj: object) -> bool:
+        return obj in self._col.object_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self._col.n_objects} objects)"
 
 
 class InferenceResult:
@@ -37,6 +168,10 @@ class InferenceResult:
     #: Number of objects re-converged by an incremental fit; ``None`` when
     #: the result came from a full (cold or saturated-frontier) fit.
     frontier_size: Optional[int] = None
+    #: ``{"version", "hops", "frontier", "cids"}`` attached by incremental
+    #: fits so the next round can reuse the computed frontier when its delta
+    #: overlaps this one (:func:`repro.data.columnar.incremental_frontier`).
+    frontier_state: Optional[dict] = None
 
     def __init__(
         self,
@@ -46,17 +181,25 @@ class InferenceResult:
         converged: bool = True,
     ) -> None:
         self.dataset = dataset
-        self.confidences: Dict[ObjectId, np.ndarray] = {
-            obj: vec
-            if type(vec) is np.ndarray and vec.dtype == np.float64
-            else np.asarray(vec, dtype=float)
-            for obj, vec in confidences.items()
-        }
+        if isinstance(confidences, LazyConfidences):
+            # Already float64 slices of one flat array — coercing would
+            # materialise the O(n_objects) dict the lazy view exists to avoid.
+            self.confidences: Mapping[ObjectId, np.ndarray] = confidences
+        else:
+            self.confidences = {
+                obj: vec
+                if type(vec) is np.ndarray and vec.dtype == np.float64
+                else np.asarray(vec, dtype=float)
+                for obj, vec in confidences.items()
+            }
         self.iterations = iterations
         self.converged = converged
         #: Record-mutation counter at fit time; half of the warm-start gate
         #: (:func:`validate_warm_start`).
         self.records_version = getattr(dataset, "_records_version", 0)
+        #: Full mutation counter at fit time; lets the warm-start gate ask
+        #: the oplog whether the record window since the fit is append-only.
+        self.dataset_version = getattr(dataset, "_version", 0)
 
     def confidence(self, obj: ObjectId) -> Dict[Value, float]:
         """Normalised ``value -> confidence`` for ``obj``."""
@@ -85,10 +228,11 @@ class InferenceResult:
 class ColumnarInferenceResult(InferenceResult):
     """An :class:`InferenceResult` backed by a flat per-slot array.
 
-    The columnar fast paths produce one ``(n_slots,)`` confidence array; the
-    per-object dict view costs a Python loop over all objects, so it is built
-    lazily on first access to :attr:`confidences`. :meth:`truths` is
-    overridden with a vectorized per-segment argmax.
+    The columnar fast paths produce one ``(n_slots,)`` confidence array; both
+    dict views are lazy wrappers over it (:class:`LazyConfidences` /
+    :class:`LazyTruths`), so constructing and publishing a result is O(1) in
+    the number of objects — per-publish cost scales with the frontier, not
+    the corpus.
     """
 
     def __init__(
@@ -105,19 +249,17 @@ class ColumnarInferenceResult(InferenceResult):
         self.iterations = iterations
         self.converged = converged
         self.records_version = getattr(dataset, "_records_version", 0)
-        self._confidences: Optional[Dict[ObjectId, np.ndarray]] = None
+        self.dataset_version = getattr(dataset, "_version", 0)
+        self._confidences: Optional[LazyConfidences] = None
 
     @property
-    def confidences(self) -> Dict[ObjectId, np.ndarray]:
+    def confidences(self) -> Mapping[ObjectId, np.ndarray]:
         if self._confidences is None:
-            self._confidences = self._columnar.to_confidences(self.flat)
+            self._confidences = LazyConfidences(self._columnar, self.flat)
         return self._confidences
 
-    def truths(self) -> Dict[ObjectId, Value]:
-        col = self._columnar
-        slots = col.segment_argmax_slot(self.flat)
-        vids = col.slot_vid[slots]
-        return {obj: col.values[vid] for obj, vid in zip(col.objects, vids)}
+    def truths(self) -> Mapping[ObjectId, Value]:
+        return LazyTruths(self._columnar, self.flat)
 
 
 class TruthInferenceAlgorithm(abc.ABC):
@@ -146,54 +288,88 @@ class TruthInferenceAlgorithm(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+class WarmStartDegradation(RuntimeWarning):
+    """A warm start was refused and the fit degraded to a cold start.
+
+    Carries a machine-readable :attr:`reason` (``"clone"`` or
+    ``"unservable-record-window"``) so the serving worker can tally
+    degradations per cause structurally; the message still begins with
+    :data:`WARM_START_DEGRADED_PREFIX` for anything matching on text.
+    """
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 def validate_warm_start(
     dataset: TruthDiscoveryDataset, warm_start: Optional[InferenceResult]
 ) -> Optional[InferenceResult]:
-    """Refuse a warm start fitted on a different (cloned or mutated) dataset.
+    """Refuse a warm start whose claimant/value keys cannot be trusted.
 
     A previous result seeds trust/reliability/confidence state keyed by this
-    dataset's claimants and slot layout. Fitted on a *clone* — even a
-    claim-identical one — or on a record state that has since changed, those
-    keys silently mismatch (clones renumber independently; record appends
-    move candidate slots and popularity weights). The gate requires object
-    identity plus an unchanged ``records_version``; anything else degrades
-    to a cold start with a :class:`RuntimeWarning`. Answer appends keep the
-    record counter, so crowd rounds always pass.
+    dataset's claimants and candidate values. Fitted on a *clone* — even a
+    claim-identical one — those keys silently mismatch (clones renumber
+    independently), so the gate requires dataset identity. Record *appends*
+    are accepted: candidate sets only ever grow under an append, every
+    full-fit consumer seeds by claimant/value key (robust to growth), and
+    the incremental paths re-validate the op window themselves via
+    :func:`repro.data.columnar.incremental_frontier`. What still degrades —
+    with a :class:`WarmStartDegradation` carrying a structured reason — is a
+    record window the oplog cannot vouch for: an in-place overwrite, or a
+    window trimmed past the fit (``MAX_OPLOG``), either of which may have
+    changed candidate sets in place.
     """
     if warm_start is None:
         return None
     label = repr(dataset.name) if getattr(dataset, "name", "") else "<unnamed>"
     if warm_start.dataset is not dataset:
         warnings.warn(
-            warm_start_degradation_message(
-                label,
-                "it was fitted on a different dataset object (a clone?), so"
-                " its claimant/slot keys cannot be trusted",
+            WarmStartDegradation(
+                warm_start_degradation_message(
+                    label,
+                    "it was fitted on a different dataset object (a clone?), so"
+                    " its claimant/slot keys cannot be trusted",
+                ),
+                reason="clone",
             ),
-            RuntimeWarning,
             stacklevel=3,
         )
         return None
     current = getattr(dataset, "_records_version", 0)
     if warm_start.records_version != current:
-        warnings.warn(
-            warm_start_degradation_message(
-                label,
-                f"it was fitted at records_version {warm_start.records_version}"
-                f" but a record mutation moved the dataset to {current}, which"
-                " may have changed candidate sets",
-            ),
-            RuntimeWarning,
-            stacklevel=3,
+        fitted_version = getattr(warm_start, "dataset_version", None)
+        ops_since = getattr(dataset, "_ops_since", None)
+        window = (
+            ops_since(fitted_version)
+            if ops_since is not None and fitted_version is not None
+            else None
         )
-        return None
+        if window is None:
+            warnings.warn(
+                WarmStartDegradation(
+                    warm_start_degradation_message(
+                        label,
+                        f"it was fitted at records_version"
+                        f" {warm_start.records_version} but the record window"
+                        f" to the current records_version {current} is not an"
+                        " append-only op log (an in-place overwrite, or a"
+                        " window trimmed past the fit), so candidate sets may"
+                        " have changed in place",
+                    ),
+                    reason="unservable-record-window",
+                ),
+                stacklevel=3,
+            )
+            return None
     return warm_start
 
 
 #: Shared prefix of every warm-start degradation warning. The serving layer's
-#: EM worker keys on it to count degradations without silencing unrelated
-#: RuntimeWarnings, and ``tests/test_incremental_em.py`` asserts the exact
-#: composed messages.
+#: EM worker counts degradations structurally (``isinstance(...,
+#: WarmStartDegradation)``, per :attr:`WarmStartDegradation.reason`); the
+#: prefix remains for log grepping, and ``tests/test_incremental_em.py``
+#: asserts the exact composed messages.
 WARM_START_DEGRADED_PREFIX = "warm_start degraded to a cold fit for dataset "
 
 

@@ -111,7 +111,12 @@ def _incremental_confusion_fit(model, dataset, warm, with_prior):
     """
     if not isinstance(warm, ColumnarInferenceResult):
         return None
-    plan = incremental_frontier(dataset, warm._columnar, hops=model.frontier_hops)
+    plan = incremental_frontier(
+        dataset,
+        warm._columnar,
+        hops=model.frontier_hops,
+        reuse=getattr(warm, "frontier_state", None),
+    )
     if plan is None:
         return None
     col, frontier, _ops = plan
@@ -120,7 +125,13 @@ def _incremental_confusion_fit(model, dataset, warm, with_prior):
 
     pairs = col.pairs
     fv = FrontierView(col, frontier)
-    mu = warm.flat.copy()
+    # Slot growth (appended objects / brand-new candidates) scatter-expands
+    # the warm posteriors into the new layout; new slots get weight 0.0, so
+    # the base reductions below — which use ``mu`` only as bincount weights —
+    # subtract exactly the mass the warm totals contained. Every new slot
+    # belongs to a frontier object, so its posterior is re-converged from
+    # the vote-proportion init like any other frontier slot.
+    mu = plan.expand_slots(warm.flat)
     # Re-initialise the frontier's posteriors from vote proportions (the
     # cold fit's starting point, now including the new answers) instead of
     # the warm values: a converged posterior is near-one-hot, and with it
@@ -167,6 +178,7 @@ def _incremental_confusion_fit(model, dataset, warm, with_prior):
     mu[fv.slot_ids] = mu_f
     result = ColumnarInferenceResult(dataset, col, mu, iterations, converged)
     result.frontier_size = len(frontier)
+    result.frontier_state = plan.frontier_state
     return result
 
 
@@ -404,7 +416,12 @@ class ZenCrowd(TruthInferenceAlgorithm):
         reliability_map = getattr(warm, "reliability", None)
         if reliability_map is None:
             return None
-        plan = incremental_frontier(dataset, warm._columnar, hops=self.frontier_hops)
+        plan = incremental_frontier(
+            dataset,
+            warm._columnar,
+            hops=self.frontier_hops,
+            reuse=getattr(warm, "frontier_state", None),
+        )
         if plan is None:
             return None
         col, frontier, _ops = plan
@@ -412,7 +429,11 @@ class ZenCrowd(TruthInferenceAlgorithm):
             return self._fit_columnar(dataset)
 
         fv = FrontierView(col, frontier)
-        mu = warm.flat.copy()
+        # Slot growth: scatter-expand the warm posteriors (new slots 0.0 —
+        # ``mu`` only weights the base bincount below, and the frontier's
+        # contribution is subtracted at the same values, so the base is the
+        # clean objects' exact correct-mass either way).
+        mu = plan.expand_slots(warm.flat)
         # Vote-proportion re-init for the frontier, as in the confusion fit:
         # the warm posterior as a prior is too saturated for new answers to
         # move.
@@ -461,6 +482,7 @@ class ZenCrowd(TruthInferenceAlgorithm):
         result = ColumnarInferenceResult(dataset, col, mu, iterations, converged)
         result.reliability = col.claimant_mapping(reliability)  # type: ignore[attr-defined]
         result.frontier_size = len(frontier)
+        result.frontier_state = plan.frontier_state
         return result
 
     # ------------------------------------------------------------------

@@ -49,7 +49,14 @@ from ..data.columnar import (
 from ..data.model import ObjectId, SourceId, TruthDiscoveryDataset, WorkerId
 from ..data.sharding import ColumnarShards, parallel_plan
 from ._structures import ObjectStructure, StructureCache
-from .base import InferenceResult, TruthInferenceAlgorithm, validate_warm_start
+from .base import (
+    InferenceResult,
+    LazyConfidences,
+    LazyObjectScalars,
+    LazyTruths,
+    TruthInferenceAlgorithm,
+    validate_warm_start,
+)
 
 DEFAULT_ALPHA = (3.0, 3.0, 2.0)
 """Source prior from Section 5.1: correct values are more frequent than wrong."""
@@ -105,6 +112,13 @@ class TDHResult(InferenceResult):
         #: Set by the incremental fit: number of objects re-converged (the
         #: frontier size). ``None`` for full fits.
         self.frontier_size: Optional[int] = None
+
+    def truths(self):
+        """Estimated truth for every object; lazy off the flat columnar
+        state when available, so publishing a result costs O(1)."""
+        if self.columnar_state is not None:
+            return LazyTruths(self.columnar_state[0], self.columnar_state[1])
+        return super().truths()
 
     def source_trustworthiness(self, source: SourceId) -> Tuple[float, float, float]:
         """``(phi_exact, phi_generalized, phi_wrong)`` for ``source``."""
@@ -276,11 +290,13 @@ class TDHModel(TruthInferenceAlgorithm):
     ) -> TDHResult:
         """Run EM to convergence and return a :class:`TDHResult`.
 
-        ``warm_start`` (a previous fit on the same records) seeds source and
+        ``warm_start`` (a previous fit of this dataset) seeds source and
         worker trustworthiness, which the round-based crowd simulator uses to
         avoid re-learning from scratch every round; a warm start fitted on a
-        different dataset object, or before a record mutation, is refused
-        with a :class:`RuntimeWarning` and degrades to a cold start.
+        different dataset object, or across an in-place record overwrite, is
+        refused with a :class:`RuntimeWarning` and degrades to a cold start
+        (append-only record windows are accepted — trust is keyed by
+        claimant, robust to growth).
         ``structures`` may share a :class:`StructureCache` across fits on
         identical records. With ``incremental=True`` and a usable columnar
         ``warm_start``, only the dirty frontier is re-converged.
@@ -483,11 +499,11 @@ class TDHModel(TruthInferenceAlgorithm):
 
         result = TDHResult(
             dataset=dataset,
-            confidences=col.to_confidences(mu),
+            confidences=LazyConfidences(col, mu),
             phi=phi,
             psi=psi,
-            numerators=col.to_confidences(numer_flat),
-            denominators=dict(zip(col.objects, denom_obj.tolist())),
+            numerators=LazyConfidences(col, numer_flat),
+            denominators=LazyObjectScalars(col, denom_obj),
             structures=cache,
             iterations=iterations,
             converged=converged,
@@ -528,7 +544,12 @@ class TDHModel(TruthInferenceAlgorithm):
         em = warm_start.em_state
         if state is None or em is None:
             return None
-        plan = incremental_frontier(dataset, state[0], hops=self.frontier_hops)
+        plan = incremental_frontier(
+            dataset,
+            state[0],
+            hops=self.frontier_hops,
+            reuse=getattr(warm_start, "frontier_state", None),
+        )
         if plan is None:
             return None
         col, frontier, ops = plan
@@ -574,8 +595,17 @@ class TDHModel(TruthInferenceAlgorithm):
             "pair_claimant": fv.claim_claimant[fv.pair_claim],
         }
 
-        mu = state[1].copy()
-        numer_flat = state[2].copy()
+        # Slot growth scatter-expands the stored per-slot state into the new
+        # layout with new slots at 0.0: the E-step is multiplicative in
+        # ``mu`` (``joint = like * mu_pair``), so a zero-weight new slot
+        # contributes nothing to the base subtraction below — matching the
+        # stored totals, which never saw it. The new slots are re-seeded
+        # (uniform prior) right before the EM loop. For grown objects the
+        # re-evaluated case weights shift slightly (|Vo| and popularity
+        # moved), which folds into the approximation bound already accepted
+        # for frontier-local claims.
+        mu = plan.expand_slots(state[1])
+        numer_flat = plan.expand_slots(state[2])
         mu_f = mu[fv.slot_ids]
 
         # Base per-claimant case sums: the previous round's totals re-keyed
@@ -613,6 +643,12 @@ class TDHModel(TruthInferenceAlgorithm):
         den_positive = den_slot > 0
         den_safe = np.where(den_positive, den_slot, 1.0)
         uniform_slot = 1.0 / fv.sizes.astype(np.float64)[fv.slot_obj]
+        if plan.grew:
+            # Brand-new candidate slots (all on frontier objects) start from
+            # the per-object uniform prior: the zero used for the base
+            # subtraction would otherwise pin their posterior at zero — the
+            # E-step can never move mass onto a zero-prior slot.
+            mu_f = np.where(plan.new_slot_mask[fv.slot_ids], uniform_slot, mu_f)
         prior_m1 = np.where(is_worker[:, None], self.beta - 1.0, self.alpha - 1.0)
         prior_mean = np.where(is_worker[:, None], prior_psi, prior_phi)
 
@@ -696,11 +732,11 @@ class TDHModel(TruthInferenceAlgorithm):
 
         result = TDHResult(
             dataset=dataset,
-            confidences=col.to_confidences(mu),
+            confidences=LazyConfidences(col, mu),
             phi=phi,
             psi=psi,
-            numerators=col.to_confidences(numer_flat),
-            denominators=dict(zip(col.objects, denom_obj.tolist())),
+            numerators=LazyConfidences(col, numer_flat),
+            denominators=LazyObjectScalars(col, denom_obj),
             structures=cache,
             iterations=iterations,
             converged=converged,
@@ -712,6 +748,7 @@ class TDHModel(TruthInferenceAlgorithm):
             "claimants": col.claimants,
         }
         result.frontier_size = len(frontier)
+        result.frontier_state = plan.frontier_state
         return result
 
     # ------------------------------------------------------------------

@@ -2,9 +2,13 @@
 
 Spins up a :class:`~repro.serving.service.TruthService` over a seeded
 synthetic dataset, drives it with concurrent writer and reader coroutines
-(answers on the hot path, an occasional new-source claim to exercise the
-cold-fit degradation), then prints a one-screen summary: throughput, fit
-mix, read-latency percentiles and the final snapshot stamps. Everything is
+(answers on the hot path, an occasional new-source claim naming a
+brand-new candidate value to exercise the slot-growth splice — served
+incrementally; only an answer overwrite, when a worker re-answers an object
+it already answered with a different value, degrades a batch to a cold
+refit), then prints a one-screen summary: throughput, fit
+mix, read-latency percentiles (with per-reason degradation counts when any
+occurred) and the final snapshot stamps. Everything is
 seeded, so two runs with the same flags print the same truths.
 
 With ``--journal PATH`` the service runs durably: every accepted micro-batch
@@ -105,7 +109,17 @@ async def _run(args: argparse.Namespace) -> int:
             candidates = dataset.candidates(obj)
             value = candidates[int(rng.integers(len(candidates)))]
             if args.claim_every and i and i % args.claim_every == 0:
-                await service.append_claim(obj, f"demo_src_{i}", value)
+                # A brand-new candidate value grows the slot layout — the
+                # splice path, still served incrementally.
+                fresh = next(
+                    (
+                        v
+                        for v in dataset.hierarchy.non_root_nodes()
+                        if v not in candidates
+                    ),
+                    value,
+                )
+                await service.append_claim(obj, f"demo_src_{i}", fresh)
             else:
                 await service.append_answer(obj, f"demo_w{i % 5}", value)
             if i % 8 == 0:
@@ -146,10 +160,15 @@ async def _run(args: argparse.Namespace) -> int:
     )
     print(
         "SERVING: fits incremental={inc} cold={cold}"
-        " (warm-start degradations={deg}) total_fit={fit:.3f}s".format(
+        " (warm-start degradations={deg}{reasons}) total_fit={fit:.3f}s".format(
             inc=stats["fits_incremental"],
             cold=stats["fits_cold"],
             deg=stats["warm_start_degradations"],
+            reasons=(
+                " " + str(stats["warm_start_degradation_reasons"])
+                if stats["warm_start_degradation_reasons"]
+                else ""
+            ),
             fit=stats["fit_seconds_total"],
         )
     )

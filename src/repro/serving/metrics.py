@@ -11,7 +11,7 @@ runs and tools).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -82,6 +82,10 @@ class ServiceMetrics:
     fits_cold: int = 0
     fits_incremental: int = 0
     warm_start_degradations: int = 0
+    #: Per-cause tallies (``"clone"`` / ``"unservable-record-window"``) from
+    #: the structured :class:`~repro.inference.base.WarmStartDegradation`
+    #: reasons; sums to ``warm_start_degradations``.
+    warm_start_degradation_reasons: Dict[str, int] = field(default_factory=dict)
     fit_seconds_total: float = 0.0
     last_fit_seconds: float = 0.0
     reads: int = 0
@@ -102,12 +106,18 @@ class ServiceMetrics:
         if depth > self.queue_high_watermark:
             self.queue_high_watermark = depth
 
-    def note_fit(self, seconds: float, incremental: bool, degradations: int) -> None:
+    def note_fit(
+        self, seconds: float, incremental: bool, degraded: Sequence[str] = ()
+    ) -> None:
         if incremental:
             self.fits_incremental += 1
         else:
             self.fits_cold += 1
-        self.warm_start_degradations += degradations
+        self.warm_start_degradations += len(degraded)
+        for reason in degraded:
+            self.warm_start_degradation_reasons[reason] = (
+                self.warm_start_degradation_reasons.get(reason, 0) + 1
+            )
         self.fit_seconds_total += seconds
         self.last_fit_seconds = seconds
 
@@ -122,6 +132,7 @@ class ServiceMetrics:
             "fits_cold": self.fits_cold,
             "fits_incremental": self.fits_incremental,
             "warm_start_degradations": self.warm_start_degradations,
+            "warm_start_degradation_reasons": dict(self.warm_start_degradation_reasons),
             "fit_seconds_total": self.fit_seconds_total,
             "last_fit_seconds": self.last_fit_seconds,
             "reads": self.reads,

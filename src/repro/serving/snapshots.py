@@ -4,8 +4,9 @@ The serving layer's read side is built on one invariant the rest of the
 codebase already provides: a fitted :class:`~repro.inference.base.
 InferenceResult` over an immutable columnar snapshot is never mutated after
 the fit returns. Publication therefore needs no reader locks at all — the
-EM worker wraps each fit in a :class:`PublishedResult` (truths materialised
-once, version stamps attached) and swaps it into :attr:`SnapshotStore.latest`
+EM worker wraps each fit in a :class:`PublishedResult` (truths exposed as an
+O(1)-to-build mapping view, version stamps attached) and swaps it into
+:attr:`SnapshotStore.latest`
 with a single attribute store, which is atomic under the interpreter. Readers
 grab the pointer once per call and resolve everything against that one frozen
 object, so a concurrent publish can never produce a torn read: a reader sees
@@ -24,7 +25,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, List, Mapping, Optional
 
 from ..data.model import ObjectId
 from ..hierarchy.tree import Value
@@ -44,8 +45,10 @@ class PublishedResult:
     result:
         The fitted inference result (confidences, trust state, ...).
     truths:
-        ``object -> value`` materialised once at publish time so reads are
-        dict lookups. Treated as immutable after construction.
+        ``object -> value`` view over the fit (a plain dict, or a lazy
+        mapping backed by the fit's flat arrays — publishing is O(1) either
+        way; the argmax is paid per read, or once on first bulk iteration).
+        Treated as immutable after construction.
     epoch:
         Dense publication counter: the initial fit publishes epoch 0, every
         later publish increments by exactly one.
@@ -66,7 +69,7 @@ class PublishedResult:
     """
 
     result: InferenceResult
-    truths: Dict[ObjectId, Value]
+    truths: Mapping[ObjectId, Value]
     epoch: int
     dataset_version: int
     records_version: int

@@ -427,19 +427,33 @@ def assert_pairs_equal(spliced, cold, col) -> None:
     np.testing.assert_array_equal(
         canonical_labels(spliced.total_index), canonical_labels(cold.total_index)
     )
-    # Stable claimant ids decode back to the current ids: the key sets match.
+    # Stable claimant *and value* ids decode back to the current ids: the key
+    # sets match. Each expansion carries its own radix (`value_base`, widened
+    # on slot-growth splices) and its own stable-id tables, so decode both
+    # sides through their tables into current-id triples before comparing.
     nv = max(len(col.values), 1)
-    current_of_stable = np.full(spliced.n_stable, -1, dtype=np.int64)
-    current_of_stable[spliced.claimant_stable] = np.arange(col.n_claimants)
-    cells = spliced.cells
-    translated_cells = (
-        current_of_stable[cells // (nv * nv)] * (nv * nv) + cells % (nv * nv)
+
+    def decode(exp, keys, with_claimed):
+        cur_c = np.full(exp.n_stable, -1, dtype=np.int64)
+        cur_c[exp.claimant_stable] = np.arange(col.n_claimants)
+        cur_v = np.full(exp.n_value_stable, -1, dtype=np.int64)
+        cur_v[exp.value_stable] = np.arange(len(col.values))
+        base = exp.value_base
+        if with_claimed:
+            c, rem = np.divmod(keys, base * base)
+            t, v = np.divmod(rem, base)
+            return (cur_c[c] * nv + cur_v[t]) * nv + cur_v[v]
+        c, t = np.divmod(keys, base)
+        return cur_c[c] * nv + cur_v[t]
+
+    np.testing.assert_array_equal(
+        np.sort(decode(spliced, spliced.cells, True)),
+        np.sort(decode(cold, cold.cells, True)),
     )
-    np.testing.assert_array_equal(np.sort(translated_cells), cold.cells)
-    translated_totals = (
-        current_of_stable[spliced.totals // nv] * nv + spliced.totals % nv
+    np.testing.assert_array_equal(
+        np.sort(decode(spliced, spliced.totals, False)),
+        np.sort(decode(cold, cold.totals, False)),
     )
-    np.testing.assert_array_equal(np.sort(translated_totals), cold.totals)
 
 
 def _count_pair_builds(monkeypatch):
@@ -545,13 +559,21 @@ def test_claimant_renumbering_splices_through_key_permutation(monkeypatch):
     assert_pairs_equal(appended.pairs, ColumnarClaims(ds).pairs, appended)
 
 
-def test_new_candidate_value_falls_back_to_cold_factorization():
-    """The delta the splice cannot express — a record growing a candidate
-    set moves every later slot — drops the cached expansion and rebuilds it
-    lazily (still equal to cold)."""
+def test_new_candidate_value_splices_slot_growth(monkeypatch):
+    """A record growing a candidate set moves every later slot — the delta
+    the old splice could not express and the cold-fallback cliff this PR
+    removes. The expansion is now carried across slot growth: layout arrays
+    are recomputed from the (O(delta)-spliced) encoding, old cell ids are
+    relocated onto the surviving rows, and only genuinely fresh pairs pay a
+    key lookup. No np.unique factorization runs, and the observable counter
+    records the splice instead of a silent rebuild."""
+    from repro.data.columnar import PAIR_EXPANSION_STATS
+
     ds = make_birthplaces(size=120, seed=7)
     col = ds.columnar()
     _ = col.pairs
+    counter = _count_pair_builds(monkeypatch)
+    before = dict(PAIR_EXPANSION_STATS)
     first_obj = ds.objects[0]
     tree_value = next(
         v for v in ds.hierarchy.non_root_nodes()
@@ -559,5 +581,11 @@ def test_new_candidate_value_falls_back_to_cold_factorization():
     )
     ds.add_record(Record(first_obj, ds.sources_of(first_obj)[0] + "_alt", tree_value))
     grown = ds.columnar()
-    assert grown._pairs is None
+    assert grown._pairs is not None  # spliced eagerly, not dropped
+    assert counter["builds"] == 0
+    assert (
+        PAIR_EXPANSION_STATS["spliced_slot_growth"]
+        == before["spliced_slot_growth"] + 1
+    )
+    assert PAIR_EXPANSION_STATS["cold_builds"] == before["cold_builds"]
     assert_pairs_equal(grown.pairs, ColumnarClaims(ds).pairs, grown)

@@ -140,9 +140,12 @@ def test_read_your_writes_eventually_matches_cold_fit():
     assert all(r.lag_writes == 0 and r.epoch == 3 for r in reads.values())
 
 
-def test_record_append_degrades_to_cold_fit_and_still_serves():
-    """A new-source claim bumps records_version: the covering fit must run
-    cold (counted, not warned) and still match the mirror's cold fit."""
+def test_record_append_serves_incrementally_with_zero_degradations():
+    """The cold-fallback cliff, end to end: a new-source claim — here one
+    growing the object's candidate set with a brand-new value — used to bump
+    records_version and force a cold refit. The worker now serves it through
+    the dirty-frontier path: no degradation counted, the snapshot is
+    incremental, and the published truths still match the mirror's cold fit."""
     base = _sparse_heritages()
     mirror = _sparse_heritages()
 
@@ -150,19 +153,88 @@ def test_record_append_degrades_to_cold_fit_and_still_serves():
         service = TruthService(base, _model(), batch_max=8)
         await service.start(run_worker=False)
         obj = base.objects[0]
-        value = base.candidates(obj)[0]
-        await service.append_claim(obj, "brand-new-source", value)
-        mirror.add_record(Record(obj, "brand-new-source", value))
+        fresh = next(
+            v
+            for v in base.hierarchy.non_root_nodes()
+            if v not in base.candidates(obj)
+        )
+        await service.append_claim(obj, "brand-new-source", fresh)
+        mirror.add_record(Record(obj, "brand-new-source", fresh))
         snapshot = await service.worker.step()
         return service, snapshot
 
     service, snapshot = run(scenario())
-    assert not snapshot.incremental and snapshot.frontier_size is None
-    assert service.metrics.warm_start_degradations == 1
-    assert service.metrics.fits_cold == 2  # epoch 0 + the degraded refit
+    assert snapshot.incremental and snapshot.frontier_size is not None
+    assert service.metrics.warm_start_degradations == 0
+    assert service.metrics.warm_start_degradation_reasons == {}
+    assert service.metrics.fits_cold == 1  # epoch 0 only
+    assert service.metrics.fits_incremental == 1
     cold = TDHModel(max_iter=60, tol=1e-7, use_columnar=True).fit(mirror)
     assert snapshot.truths == cold.truths()
     assert snapshot.records_version == base.records_version
+
+
+def test_mixed_traffic_stays_incremental_and_matches_cold_mirror():
+    """Steady state under mixed claim+answer traffic: three drained rounds of
+    answers plus slot-growing claims (brand-new candidate values, one
+    brand-new object) keep the worker on the frontier path — zero warm-start
+    degradations after the cold epoch-0 fit — and the drained ``get_truths``
+    equals a cold fit of the mirrored write stream."""
+    base = _sparse_heritages()
+    mirror = _sparse_heritages()
+
+    def round_answers(round_no, n=8):
+        # Distinct objects and round-unique workers: no (object, worker)
+        # pair ever repeats, so every answer is a genuine append (a repeat
+        # with a different value would be an in-place overwrite, which
+        # rightly poisons the op window), and the dirty set stays small
+        # enough that the 1-hop frontier does not saturate.
+        rng = np.random.default_rng(300 + round_no)
+        picks = rng.choice(len(mirror.objects), size=n, replace=False)
+        answers = []
+        for i, idx in enumerate(picks):
+            obj = mirror.objects[int(idx)]
+            ctx = mirror.context(obj)
+            truth = mirror.gold.get(obj)
+            value = (
+                truth
+                if truth is not None and truth in ctx.index
+                else ctx.values[0]
+            )
+            answers.append(Answer(obj, f"mx{round_no}w{i % 4}", value))
+        return answers
+
+    async def scenario():
+        service = TruthService(base, _model(), max_pending=256, batch_max=256)
+        await service.start(run_worker=False)
+        for round_no in range(3):
+            for a in round_answers(round_no):
+                await service.append_answer(a.object, a.worker, a.value)
+                mirror.add_answer(a)
+            obj = mirror.objects[round_no]
+            fresh = next(
+                v
+                for v in mirror.hierarchy.non_root_nodes()
+                if v not in mirror.candidates(obj)
+            )
+            await service.append_claim(obj, f"mx-src-{round_no}", fresh)
+            mirror.add_record(Record(obj, f"mx-src-{round_no}", fresh))
+            if round_no == 1:  # object growth mid-stream, not just new slots
+                donor = mirror.candidates(mirror.objects[5])[0]
+                await service.append_claim("mx-new-object", "mx-src-new", donor)
+                mirror.add_record(Record("mx-new-object", "mx-src-new", donor))
+            snapshot = await service.worker.step()
+            assert snapshot is not None and snapshot.incremental
+        return service
+
+    service = run(scenario())
+    assert service.metrics.fits_incremental == 3  # every batch stayed warm
+    assert service.metrics.fits_cold == 1  # epoch 0 only
+    assert service.metrics.warm_start_degradations == 0
+    assert service.metrics.snapshot()["warm_start_degradation_reasons"] == {}
+    reads = service.get_truths()
+    truths = TDHModel(max_iter=60, tol=1e-7, use_columnar=True).fit(mirror).truths()
+    assert {o: r.value for o, r in reads.items()} == dict(truths)
 
 
 # ---------------------------------------------------------------------------
