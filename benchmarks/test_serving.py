@@ -53,7 +53,14 @@ from repro.data.model import Answer, Record, TruthDiscoveryDataset
 from repro.datasets.geography import make_geography, sample_truths
 from repro.datasets.synthetic import _claim_value, _wrong_pool
 from repro.inference import TDHModel
-from repro.serving import LatencyRecorder, TruthService, WriteAheadJournal, recover
+from repro.serving import (
+    LatencyRecorder,
+    TruthService,
+    WriteAheadJournal,
+    rebuild_dataset,
+    recover,
+    scan_journal,
+)
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 
@@ -71,6 +78,8 @@ MIN_JOURNAL_WRITES_PER_SEC = 10.0
 MAX_REPLAY_SECONDS = 30.0
 MIXED_WRITES_PER_WRITER = 24
 MIXED_CLAIMS = 12
+COMPACT_HISTORY = 8000  # single-write batches: a long-history journal
+MIN_COMPACTION_REPLAY_REDUCTION = 5.0
 
 
 def make_sparse_dataset(seed: int = 29) -> TruthDiscoveryDataset:
@@ -418,6 +427,85 @@ def mixed_report(serving_report) -> Dict[str, object]:
     return section
 
 
+@pytest.fixture(scope="module")
+def compaction_report(serving_report, tmp_path_factory) -> Dict[str, object]:
+    """Compaction bounds recovery replay by data size, not history length.
+
+    Builds a deliberately long-history journal over the 5k-object substrate —
+    ``COMPACT_HISTORY`` single-write batches, each followed by its
+    checkpoint, the worst case frames-per-write shape a long supervised run
+    produces — then times a full ``rebuild_dataset`` replay before and after
+    ``compact()``. The post-compaction file is two entries (base +
+    checkpoint) whatever the history was; the rebuilt claim state and
+    version stamps must be identical either way. Merges a ``compaction``
+    section into the artifact.
+    """
+    path = tmp_path_factory.mktemp("compact") / "compact.wal"
+    dataset = make_sparse_dataset()
+    journal = WriteAheadJournal(path, fsync="never")
+    journal.append_base(dataset)
+    rng = np.random.default_rng(71)
+    objects = dataset.objects
+    for b in range(COMPACT_HISTORY):
+        obj = objects[int(rng.integers(len(objects)))]
+        candidates = dataset.candidates(obj)
+        claim = Answer(obj, f"cw{b}", candidates[int(rng.integers(len(candidates)))])
+        journal.append_batch([claim])
+        dataset.add_answer(claim)
+        journal.append_checkpoint(
+            epoch=b + 1,
+            dataset_version=dataset.version,
+            records_version=dataset.records_version,
+            applied_writes=b + 1,
+        )
+    entries_before = len(scan_journal(path).entries)
+
+    t0 = time.perf_counter()
+    rebuilt_before, replay_before = rebuild_dataset(path)
+    replay_seconds_before = time.perf_counter() - t0
+
+    info = journal.compact(
+        dataset,
+        epoch=COMPACT_HISTORY,
+        dataset_version=dataset.version,
+        records_version=dataset.records_version,
+        applied_writes=COMPACT_HISTORY,
+    )
+    entries_after = len(scan_journal(path).entries)
+
+    t0 = time.perf_counter()
+    rebuilt_after, replay_after = rebuild_dataset(path)
+    replay_seconds_after = time.perf_counter() - t0
+    journal.close()
+
+    lossless = (
+        rebuilt_before._records_by_object == rebuilt_after._records_by_object
+        and rebuilt_before._answers_by_object == rebuilt_after._answers_by_object
+        and rebuilt_before.version == rebuilt_after.version == dataset.version
+        and rebuilt_before.records_version
+        == rebuilt_after.records_version
+        == dataset.records_version
+    )
+    section: Dict[str, object] = {
+        "objects": N_OBJECTS,
+        "history_batches": COMPACT_HISTORY,
+        "entries_before": entries_before,
+        "entries_after": entries_after,
+        "bytes_before": info["before_bytes"],
+        "bytes_after": info["after_bytes"],
+        "batches_replayed_before": replay_before["batches"],
+        "batches_replayed_after": replay_after["batches"],
+        "replay_seconds_before": replay_seconds_before,
+        "replay_seconds_after": replay_seconds_after,
+        "replay_reduction": replay_seconds_before / replay_seconds_after,
+        "lossless": lossless,
+    }
+    artifact = json.loads(ARTIFACT.read_text())
+    artifact["compaction"] = section
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    return section
+
+
 def test_every_write_applied_and_truths_match_cold_fit(serving_report):
     """Deterministic half: the load was fully absorbed (no rejects, every
     write published), the steady state ran incrementally, and the served
@@ -472,6 +560,30 @@ def test_sustained_throughput_and_read_latency(serving_report):
     assert serving_report["writes_per_sec"] >= MIN_WRITES_PER_SEC, serving_report
     assert serving_report["read_latency"]["p99_us"] <= MAX_READ_P99_US, serving_report
     assert serving_report["read_latency"]["count"] > 0
+
+
+def test_compaction_is_lossless_and_collapses_history(compaction_report):
+    """Deterministic half: whatever the history length, the compacted file
+    is exactly base + checkpoint, nothing is replayed after it, and the
+    rebuilt claim state and version stamps are bitwise those of the
+    long-history replay."""
+    assert compaction_report["entries_before"] == 2 * COMPACT_HISTORY + 1
+    assert compaction_report["entries_after"] == 2
+    assert compaction_report["batches_replayed_before"] == COMPACT_HISTORY
+    assert compaction_report["batches_replayed_after"] == 0
+    assert compaction_report["lossless"] is True
+    artifact = json.loads(ARTIFACT.read_text())
+    assert artifact["compaction"]["history_batches"] == COMPACT_HISTORY
+
+
+@pytest.mark.slow  # wall-clock assertion: only the non-blocking CI bench job
+def test_compaction_bounds_replay_time(compaction_report):
+    """Timing half: replaying the compacted journal beats replaying the
+    long history by a wide margin — replay cost is bounded by data size,
+    not history length."""
+    assert (
+        compaction_report["replay_reduction"] >= MIN_COMPACTION_REPLAY_REDUCTION
+    ), compaction_report
 
 
 @pytest.mark.slow  # wall-clock assertion: only the non-blocking CI bench job

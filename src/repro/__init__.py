@@ -48,6 +48,7 @@ from .eval import evaluate, evaluate_multitruth, evaluate_numeric
 from .datasets import load_dataset, make_birthplaces, make_heritages
 from .serving import (
     PublishedResult,
+    SupervisionPolicy,
     TruthRead,
     TruthService,
     WriteAheadJournal,
@@ -99,6 +100,7 @@ __all__ = [
     "TruthService",
     "TruthRead",
     "PublishedResult",
+    "SupervisionPolicy",
     "WriteAheadJournal",
     "recover",
     "__version__",

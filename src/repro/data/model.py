@@ -139,6 +139,48 @@ class TruthDiscoveryDataset:
         for answer in answers:
             self.add_answer(answer)
 
+    @classmethod
+    def from_trusted_claims(
+        cls,
+        hierarchy: Hierarchy,
+        records: Iterable[Tuple[ObjectId, SourceId, Value]],
+        answers: Iterable[Tuple[ObjectId, WorkerId, Value]] = (),
+        gold: Optional[Mapping[ObjectId, Value]] = None,
+        name: str = "",
+    ) -> "TruthDiscoveryDataset":
+        """Bulk-load claims that already passed this class's mutators once.
+
+        The fast restore path for journal bases and snapshot dumps: the
+        claims were dumped from a dataset that enforced every invariant
+        (hierarchy membership, candidate-set answers) when they were first
+        added, so re-validating each one here is pure overhead — restore
+        cost should be bounded by data size with a small constant, which is
+        what makes journal compaction actually bound recovery time. Claims
+        are inserted straight into the indexes; version counters end up as
+        if each claim had been appended fresh (callers restoring a journal
+        base pin them to the journaled stamps afterwards).
+
+        Only for claims that round-tripped through a trusted dump — feeding
+        unchecked input here bypasses :class:`DatasetError` validation.
+        ``records``/``answers`` are ``(object, claimant, value)`` triples,
+        at most one per ``(object, claimant)`` pair (dumps satisfy this by
+        construction: they iterate the claim dicts).
+        """
+        dataset = cls(hierarchy, (), (), gold=gold, name=name)
+        n_records = 0
+        for obj, source, value in records:
+            dataset._records_by_object.setdefault(obj, {})[source] = value
+            dataset._objects_by_source.setdefault(source, []).append(obj)
+            n_records += 1
+        n_answers = 0
+        for obj, worker, value in answers:
+            dataset._answers_by_object.setdefault(obj, {})[worker] = value
+            dataset._objects_by_worker.setdefault(worker, []).append(obj)
+            n_answers += 1
+        dataset._records_version = n_records
+        dataset._version = n_records + n_answers
+        return dataset
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------

@@ -7,8 +7,13 @@ into a new immutable snapshot), refits warm/incrementally off the event
 loop, and publishes the result behind an atomic latest-snapshot pointer
 that readers hit lock-free. After a crash, :func:`recover` replays the
 journal into an identical dataset and restarts the service at the next
-epoch. See ``docs/serving.md`` for the architecture, the staleness /
-consistency / durability contracts and runnable round-trips.
+epoch. With a :class:`SupervisionPolicy` attached the service is
+self-healing in-process too: worker crashes roll back to the last published
+state and restart with backoff, poison batches are quarantined
+(:class:`BatchQuarantined`), wedged fits are watchdogged
+(:class:`FitTimeout`), reads stay live while degraded, and the journal is
+bounded by compaction. See ``docs/serving.md`` for the architecture, the
+staleness / consistency / durability contracts and runnable round-trips.
 """
 
 from .faults import FaultInjector, InjectedFault
@@ -23,15 +28,28 @@ from .journal import (
 )
 from .metrics import LatencyRecorder, ServiceMetrics, percentile
 from .recovery import RecoveryReport, rebuild_dataset, recover
-from .service import ServiceClosed, ServiceNotStarted, TruthRead, TruthService
+from .service import (
+    Overloaded,
+    ServiceClosed,
+    ServiceNotStarted,
+    TruthRead,
+    TruthService,
+)
 from .snapshots import PublicationError, PublishedResult, SnapshotStore
-from .worker import EMWorker, Write
+from .supervisor import BatchQuarantined, SupervisionPolicy, Supervisor
+from .worker import EMWorker, FitTimeout, PendingBatch, Write
 
 __all__ = [
     "TruthService",
     "TruthRead",
     "ServiceClosed",
     "ServiceNotStarted",
+    "Overloaded",
+    "Supervisor",
+    "SupervisionPolicy",
+    "BatchQuarantined",
+    "FitTimeout",
+    "PendingBatch",
     "PublishedResult",
     "SnapshotStore",
     "PublicationError",

@@ -16,6 +16,15 @@ is appended to a write-ahead journal before it is applied, and after the
 drain the demo performs a recovery round-trip — replaying the journal into
 a fresh service and checking the recovered truths match the live ones —
 printing a ``SERVING: recovery`` summary line.
+
+With ``--chaos`` the service runs supervised and the demo injects seeded
+faults mid-stream: a poison batch that crashes the fit until it is
+quarantined, then a one-off publish crash that heals on retry. The writer
+awaits every ticket so the fault schedule (and therefore the printed
+restart/quarantine counts and the final truths) is deterministic for a
+given seed. With ``--compact`` (requires ``--journal``) the journal is
+compacted after the drain — the recovery round-trip then replays the
+compacted file, proving nothing semantic was lost.
 """
 
 from __future__ import annotations
@@ -29,10 +38,12 @@ import numpy as np
 
 from ..datasets import make_heritages
 from ..inference.tdh import TDHModel
-from .journal import FSYNC_POLICIES, WriteAheadJournal
+from .faults import FaultInjector
+from .journal import FSYNC_POLICIES, WriteAheadJournal, scan_journal
 from .metrics import LatencyRecorder
 from .recovery import recover
 from .service import TruthService
+from .supervisor import BatchQuarantined, SupervisionPolicy
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="checkpoint",
         help="journal fsync policy (only with --journal; default: checkpoint)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "run supervised and inject seeded faults mid-stream: a poison"
+            " batch (crashed fits until quarantine) and a publish crash that"
+            " heals on retry; prints a 'SERVING: chaos' summary line"
+        ),
+    )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help=(
+            "compact the journal after the drain (requires --journal); the"
+            " recovery round-trip then replays the compacted file"
+        ),
+    )
     return parser
 
 
@@ -89,8 +117,20 @@ async def _run(args: argparse.Namespace) -> int:
     read_latency = LatencyRecorder()
     writing = True
 
+    faults: Optional[FaultInjector] = None
+    supervision: Optional[SupervisionPolicy] = None
+    if args.chaos:
+        faults = FaultInjector(seed=args.seed)
+        supervision = SupervisionPolicy(
+            max_restarts=8,
+            backoff_base=0.001,
+            backoff_cap=0.01,
+            quarantine_after=2,
+            jitter=0.0,
+            seed=args.seed,
+        )
     journal = (
-        WriteAheadJournal(args.journal, fsync=args.fsync)
+        WriteAheadJournal(args.journal, fsync=args.fsync, faults=faults)
         if args.journal is not None
         else None
     )
@@ -100,11 +140,32 @@ async def _run(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         batch_max=args.batch_max,
         journal=journal,
+        faults=faults,
+        supervision=supervision,
     )
+
+    # The chaos schedule: a poison batch a third of the way in (the fit
+    # crashes every retry until the supervisor quarantines it), then a
+    # one-off publish crash at two thirds (rolled back, retried, healed).
+    poison_at = args.writes // 3
+    crash_at = max(poison_at + 1, (2 * args.writes) // 3)
+    chaos_outcomes = {"acknowledged": 0, "quarantined": 0}
 
     async def writer() -> None:
         nonlocal writing
         for i in range(args.writes):
+            if faults is not None:
+                if i == poison_at:
+                    faults.arm(
+                        "worker.fit",
+                        hit=faults.counts["worker.fit"] + 1,
+                        hits_remaining=supervision.quarantine_after,
+                    )
+                elif i == crash_at:
+                    faults.arm(
+                        "worker.publish",
+                        hit=faults.counts["worker.publish"] + 1,
+                    )
             obj = objects[int(rng.integers(len(objects)))]
             candidates = dataset.candidates(obj)
             value = candidates[int(rng.integers(len(candidates)))]
@@ -119,9 +180,19 @@ async def _run(args: argparse.Namespace) -> int:
                     ),
                     value,
                 )
-                await service.append_claim(obj, f"demo_src_{i}", fresh)
+                ticket = await service.append_claim(obj, f"demo_src_{i}", fresh)
             else:
-                await service.append_answer(obj, f"demo_w{i % 5}", value)
+                ticket = await service.append_answer(obj, f"demo_w{i % 5}", value)
+            if faults is not None:
+                # Chaos mode awaits every ticket: the fault schedule hits
+                # deterministic batch boundaries, so two runs with the same
+                # seed heal identically and print identical truths.
+                try:
+                    await ticket
+                except BatchQuarantined:
+                    chaos_outcomes["quarantined"] += 1
+                else:
+                    chaos_outcomes["acknowledged"] += 1
             if i % 8 == 0:
                 await asyncio.sleep(0)  # let the worker and readers interleave
         writing = False
@@ -136,9 +207,18 @@ async def _run(args: argparse.Namespace) -> int:
             await asyncio.sleep(0)
 
     t_start = time.perf_counter()
+    compaction = None
     async with service:
         await asyncio.gather(writer(), reader())
         final = await service.drain()
+        if args.compact:
+            before_entries = len(scan_journal(args.journal).entries)
+            info = await service.compact()
+            compaction = (
+                before_entries,
+                len(scan_journal(args.journal).entries),
+                info,
+            )
     elapsed = time.perf_counter() - t_start
 
     stats = service.stats()
@@ -183,8 +263,31 @@ async def _run(args: argparse.Namespace) -> int:
             reads=latency.get("count", 0),
         )
     )
+    if args.chaos:
+        print(
+            "SERVING: chaos survived restarts={restarts} quarantines={q}"
+            " quarantined_writes={qw} acknowledged={ok}/{total} lost=0".format(
+                restarts=stats["worker_restarts"],
+                q=stats["quarantines"],
+                qw=stats["quarantined_writes"],
+                ok=chaos_outcomes["acknowledged"],
+                total=args.writes,
+            )
+        )
     if sample_read is not None:
         print(f"SERVING: truth({sample_read[0]!r}) = {sample_read[1]!r}")
+
+    if compaction is not None:
+        before_entries, after_entries, info = compaction
+        print(
+            "SERVING: compaction {be} -> {ae} journal entries"
+            " ({bb} -> {ab} bytes)".format(
+                be=before_entries,
+                ae=after_entries,
+                bb=info["before_bytes"],
+                ab=info["after_bytes"],
+            )
+        )
 
     if args.journal is not None:
         # Crash-recovery round-trip: replay the journal into a fresh service
@@ -220,7 +323,10 @@ async def _run(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[list] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.compact and args.journal is None:
+        parser.error("--compact requires --journal")
     return asyncio.run(_run(args))
 
 

@@ -25,13 +25,30 @@ Sites (the order below is the order they are hit during one worker batch):
                      is a pure slowdown — the responsiveness regression test
 ``worker.publish``   after the fit, before the snapshot-store swap
 ``journal.checkpoint``  before the epoch-checkpoint marker is written
+``journal.compact``  before the compaction temp file is written
+``journal.compact.rename``  after the temp file is durable, before the
+                     atomic rename swaps it over the live journal
 ===================  =======================================================
 
-A plan is **one-shot**: once fired it disarms, so the same injector can be
-carried into the recovery path without re-killing it. ``fired`` records the
-``(site, hit)`` pairs that actually triggered, letting tests distinguish "the
-run crashed where I asked" from "the run never reached that site" (both are
-legal matrix outcomes — an unfired plan must yield a clean, lossless run).
+A plan is **one-shot** by default: once fired it disarms, so the same
+injector can be carried into the recovery path without re-killing it.
+The self-healing suite needs more than one-shot — a batch is only
+quarantined when it kills the worker repeatedly — so :meth:`arm` also
+takes repeatable modes:
+
+* ``hits_remaining=k`` — fire on the ``hit``-th check **and every check
+  after it** until ``k`` firings happened, then disarm. This is the
+  "poison batch" shape: the same batch crashes the worker on every retry.
+* ``every_nth=n`` — fire on the ``hit``-th check and every ``n``-th check
+  from there on (``hit``, ``hit+n``, ``hit+2n``, ...), never disarming
+  unless ``hits_remaining`` bounds it. This is the "flaky site" shape: a
+  retry lands between firings and succeeds, so the supervisor restarts
+  but never quarantines.
+
+``fired`` records the ``(site, hit)`` pairs that actually triggered, letting
+tests distinguish "the run crashed where I asked" from "the run never
+reached that site" (both are legal matrix outcomes — an unfired plan must
+yield a clean, lossless run).
 """
 
 from __future__ import annotations
@@ -58,16 +75,30 @@ class _Plan:
     exc: Optional[BaseException]
     delay: float
     torn: bool
+    hits_remaining: Optional[int] = None
+    every_nth: Optional[int] = None
+
+    def matches(self, count: int) -> bool:
+        """Whether this plan fires on the ``count``-th check of its site."""
+        if count < self.hit:
+            return False
+        if self.every_nth is not None:
+            return (count - self.hit) % self.every_nth == 0
+        if self.hits_remaining is not None:
+            return True  # repeatable: every check from ``hit`` on
+        return count == self.hit  # one-shot
 
 
 class FaultInjector:
-    """Seeded, one-shot fault plans over the named injection sites."""
+    """Seeded fault plans (one-shot or repeatable) over the named sites."""
 
     SITES: Tuple[str, ...] = (
         "journal.append",
         "journal.torn",
         "journal.fsync",
         "journal.checkpoint",
+        "journal.compact",
+        "journal.compact.rename",
         "worker.apply",
         "worker.fit",
         "worker.publish",
@@ -89,6 +120,8 @@ class FaultInjector:
         exc: Optional[BaseException] = None,
         delay: float = 0.0,
         torn: bool = False,
+        hits_remaining: Optional[int] = None,
+        every_nth: Optional[int] = None,
     ) -> "FaultInjector":
         """Arm ``site`` to fire on its ``hit``-th check.
 
@@ -97,6 +130,12 @@ class FaultInjector:
         ``torn=False`` the plan is a *pure slowdown* (no raise).
         ``torn``: journal-only — persist a seeded prefix of the frame, then
         fail, leaving a torn record on disk for recovery to truncate.
+        ``hits_remaining``: repeatable — fire on the ``hit``-th check and
+        every later one until this many firings happened (the poison-batch
+        shape: crashes every retry too).
+        ``every_nth``: periodic — fire on checks ``hit, hit+n, hit+2n, ...``
+        (the flaky-site shape: a retry lands between firings and succeeds);
+        combine with ``hits_remaining`` to bound the total firings.
 
         Returns ``self`` so arming chains.
         """
@@ -104,8 +143,19 @@ class FaultInjector:
             raise ValueError(f"unknown injection site {site!r} (sites: {self.SITES})")
         if hit < 1:
             raise ValueError("hit must be >= 1")
-        self._plans[site] = _Plan(site, hit, exc, delay, torn)
+        if hits_remaining is not None and hits_remaining < 1:
+            raise ValueError("hits_remaining must be >= 1")
+        if every_nth is not None and every_nth < 1:
+            raise ValueError("every_nth must be >= 1")
+        self._plans[site] = _Plan(
+            site, hit, exc, delay, torn,
+            hits_remaining=hits_remaining, every_nth=every_nth,
+        )
         return self
+
+    def disarm(self, site: str) -> None:
+        """Drop ``site``'s plan (no-op when nothing is armed there)."""
+        self._plans.pop(site, None)
 
     def armed(self, site: str) -> bool:
         """Whether ``site`` still has an unfired plan."""
@@ -117,14 +167,21 @@ class FaultInjector:
         Normally returns ``None``. A firing ``torn`` plan instead *returns*
         the seeded number of prefix bytes the journal must write before
         raising (the caller owns the file handle); every other firing plan
-        raises here. A fired plan disarms itself.
+        raises here. A one-shot plan disarms after firing; a repeatable one
+        disarms once ``hits_remaining`` firings are spent (``every_nth``
+        without a bound never disarms).
         """
         count = self.counts.get(site, 0) + 1
         self.counts[site] = count
         plan = self._plans.get(site)
-        if plan is None or count != plan.hit:
+        if plan is None or not plan.matches(count):
             return None
-        del self._plans[site]
+        if plan.hits_remaining is not None:
+            plan.hits_remaining -= 1
+            if plan.hits_remaining == 0:
+                del self._plans[site]
+        elif plan.every_nth is None:
+            del self._plans[site]
         self.fired.append((site, count))
         if plan.delay:
             time.sleep(plan.delay)

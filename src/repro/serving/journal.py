@@ -26,6 +26,21 @@ Record kinds (the payload's ``"kind"`` key):
 * ``checkpoint`` — epoch marker appended after every publish, carrying the
   epoch and the dataset's version counters so a restarted service resumes
   with dense epochs and non-regressing version stamps.
+* ``quarantine`` — a supervised service journaled batch ``seq`` as poison
+  (it killed the worker repeatedly and was excluded from the dataset);
+  recovery replay skips that batch deterministically, so a healed live
+  service and a recovered one condition on the same accepted evidence.
+
+Journals are bounded by **compaction**: :meth:`WriteAheadJournal.compact`
+atomically rewrites the file as ``base = current dataset`` plus the latest
+checkpoint, so recovery replay cost is a function of data size, not of how
+long the service has been running. The rewrite is crash-safe at every step —
+the new content is built in a temp file, fsynced, then swapped in with one
+atomic ``os.replace`` (plus a directory fsync), so a kill at any point
+leaves either the old journal or the new one intact, never neither
+(fault-injection sites ``journal.compact`` / ``journal.compact.rename``
+prove it). ``auto_compact_bytes`` arms the worker to compact automatically
+whenever the file outgrows that many bytes after a checkpoint.
 
 The length+CRC framing makes every record independently verifiable:
 :func:`scan_journal` walks the file, and on an invalid frame (torn tail from
@@ -65,7 +80,7 @@ MAGIC = b"RTJ1"
 _HEADER = struct.Struct(">II")  # payload length, crc32(payload)
 #: Frames claiming more than this are treated as corrupt (resync point).
 MAX_RECORD_BYTES = 64 * 1024 * 1024
-KINDS = ("base", "batch", "checkpoint")
+KINDS = ("base", "batch", "checkpoint", "quarantine")
 FSYNC_POLICIES = ("always", "checkpoint", "never")
 
 
@@ -130,6 +145,17 @@ class JournalScan:
     @property
     def batches(self) -> List[Dict[str, object]]:
         return [e for e in self.entries if e.get("kind") == "batch"]
+
+    @property
+    def quarantined_seqs(self) -> List[int]:
+        """Batch sequence numbers journaled as poison, in file order."""
+        out: List[int] = []
+        for entry in self.entries:
+            if entry.get("kind") == "quarantine":
+                seq = entry.get("seq")
+                if isinstance(seq, int) and seq not in out:
+                    out.append(seq)
+        return out
 
 
 def _try_frame(buf: bytes, offset: int) -> Optional[Tuple[Dict[str, object], int]]:
@@ -232,12 +258,19 @@ class WriteAheadJournal:
         *,
         fsync: str = "checkpoint",
         faults: Optional[FaultInjector] = None,
+        auto_compact_bytes: Optional[int] = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if auto_compact_bytes is not None and auto_compact_bytes < 1:
+            raise ValueError("auto_compact_bytes must be >= 1 (or None to disable)")
         self.path = Path(path)
         self.fsync_policy = fsync
         self._faults = faults
+        #: when set, the worker compacts after any checkpoint that leaves the
+        #: file larger than this many bytes (checked post-publish, where the
+        #: live dataset and the journal's replay state provably coincide).
+        self.auto_compact_bytes = auto_compact_bytes
         existing = self.path.exists() and self.path.stat().st_size > 0
         if existing:
             with open(self.path, "rb") as fh:
@@ -257,6 +290,8 @@ class WriteAheadJournal:
         self.bytes_appended = 0
         self.batches_appended = 0
         self.checkpoints_appended = 0
+        self.quarantines_appended = 0
+        self.compactions = 0
         self.fsyncs = 0
 
     # ------------------------------------------------------------------
@@ -270,21 +305,23 @@ class WriteAheadJournal:
         deterministic iteration order, and the version counters verbatim so
         a rebuilt dataset's stamps line up with journaled checkpoints.
         """
+        self._append(self._base_entry(dataset))
+
+    @staticmethod
+    def _base_entry(dataset: TruthDiscoveryDataset) -> Dict[str, object]:
         hierarchy = dataset.hierarchy
-        self._append(
-            {
-                "kind": "base",
-                "format": 1,
-                "name": dataset.name,
-                "root": hierarchy.root,
-                "edges": [[c, hierarchy.parent(c)] for c in hierarchy.non_root_nodes()],
-                "records": [[r.object, r.source, r.value] for r in dataset.iter_records()],
-                "answers": [[a.object, a.worker, a.value] for a in dataset.iter_answers()],
-                "gold": [[o, v] for o, v in dataset.gold.items()],
-                "version": dataset.version,
-                "records_version": dataset.records_version,
-            }
-        )
+        return {
+            "kind": "base",
+            "format": 1,
+            "name": dataset.name,
+            "root": hierarchy.root,
+            "edges": [[c, hierarchy.parent(c)] for c in hierarchy.non_root_nodes()],
+            "records": [[r.object, r.source, r.value] for r in dataset.iter_records()],
+            "answers": [[a.object, a.worker, a.value] for a in dataset.iter_answers()],
+            "gold": [[o, v] for o, v in dataset.gold.items()],
+            "version": dataset.version,
+            "records_version": dataset.records_version,
+        }
 
     def append_batch(self, claims: List[Union[Record, Answer]]) -> int:
         """Journal one micro-batch (WAL: called before the batch is applied).
@@ -324,11 +361,37 @@ class WriteAheadJournal:
         )
         self.checkpoints_appended += 1
 
-    def _append(self, entry: Dict[str, object], *, checkpoint: bool = False) -> None:
+    def append_quarantine(self, seq: int, cause: str) -> None:
+        """Journal batch ``seq`` as poison so recovery replay skips it.
+
+        Fsynced regardless of policy — quarantine is a *decision*, and a
+        recovered service must agree with the live one about which evidence
+        was excluded. Skips the ``journal.append`` fault site (like
+        checkpoints do): an injected append fault must not be able to turn
+        the act of quarantining into another crash of the same site.
+        """
+        self._append(
+            {"kind": "quarantine", "seq": seq, "cause": cause},
+            checkpoint=True,
+            force_sync=True,
+        )
+        self.quarantines_appended += 1
+
+    @staticmethod
+    def _frame(entry: Dict[str, object]) -> bytes:
+        payload = json.dumps(entry, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def _append(
+        self,
+        entry: Dict[str, object],
+        *,
+        checkpoint: bool = False,
+        force_sync: bool = False,
+    ) -> None:
         if self._fh is None:
             raise JournalError(f"journal {self.path} is closed")
-        payload = json.dumps(entry, separators=(",", ":"), sort_keys=True).encode("utf-8")
-        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        frame = self._frame(entry)
         if self._faults is not None:
             if not checkpoint:
                 self._faults.check("journal.append")
@@ -343,8 +406,10 @@ class WriteAheadJournal:
                 )
         self._fh.write(frame)
         self._fh.flush()
-        if self.fsync_policy == "always" or (
-            checkpoint and self.fsync_policy == "checkpoint"
+        if (
+            force_sync
+            or self.fsync_policy == "always"
+            or (checkpoint and self.fsync_policy == "checkpoint")
         ):
             if self._faults is not None:
                 self._faults.check("journal.fsync")
@@ -352,6 +417,82 @@ class WriteAheadJournal:
             self.fsyncs += 1
         self.records_appended += 1
         self.bytes_appended += len(frame)
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(
+        self,
+        dataset: TruthDiscoveryDataset,
+        *,
+        epoch: int,
+        dataset_version: int,
+        records_version: int,
+        applied_writes: int,
+    ) -> Dict[str, int]:
+        """Atomically rewrite the journal as ``base = dataset`` + checkpoint.
+
+        Only legal when ``dataset`` *is* the journal's replay state — i.e.
+        right after a checkpoint, when every journaled batch is applied and
+        published. The replacement file is built beside the live one
+        (``<name>.compact``), fsynced, then swapped in with one atomic
+        ``os.replace`` plus a directory fsync: a crash before the rename
+        leaves the old journal untouched (plus a harmless temp file the next
+        compaction overwrites); a crash after it leaves the new journal
+        complete. There is no intermediate state — the two fault-injection
+        sites below pin exactly those kill points.
+
+        ``batch_seq`` keeps counting (sequence numbers stay unique across
+        compactions). Returns ``{"before_bytes": ..., "after_bytes": ...}``.
+        """
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._fh.flush()
+        before_bytes = self.path.stat().st_size
+        if self._faults is not None:
+            self._faults.check("journal.compact")
+        tmp_path = self.path.with_name(self.path.name + ".compact")
+        checkpoint_entry = {
+            "kind": "checkpoint",
+            "epoch": epoch,
+            "dataset_version": dataset_version,
+            "records_version": records_version,
+            "applied_writes": applied_writes,
+        }
+        with open(tmp_path, "wb") as tmp:
+            tmp.write(MAGIC)
+            tmp.write(self._frame(self._base_entry(dataset)))
+            tmp.write(self._frame(checkpoint_entry))
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        if self._faults is not None:
+            # The kill point *after* the temp file is durable but *before*
+            # the swap: the old journal (still open, still live) must win.
+            self._faults.check("journal.compact.rename")
+        self._fh.close()
+        self._fh = None
+        os.replace(tmp_path, self.path)
+        self._sync_parent_dir()
+        self._fh = open(self.path, "ab")
+        after_bytes = self.path.stat().st_size
+        self.compactions += 1
+        self.records_appended += 2
+        self.checkpoints_appended += 1
+        self.fsyncs += 1
+        return {"before_bytes": before_bytes, "after_bytes": after_bytes}
+
+    def _sync_parent_dir(self) -> None:
+        """Fsync the journal's directory so the rename itself is durable."""
+        try:
+            dir_fd = os.open(str(self.path.parent), os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - platform without dir-fsync
+            pass
+        finally:
+            os.close(dir_fd)
 
     # ------------------------------------------------------------------
     # lifecycle & introspection
@@ -388,6 +529,9 @@ class WriteAheadJournal:
             "records_appended": self.records_appended,
             "batches_appended": self.batches_appended,
             "checkpoints_appended": self.checkpoints_appended,
+            "quarantines_appended": self.quarantines_appended,
+            "compactions": self.compactions,
+            "auto_compact_bytes": self.auto_compact_bytes,
             "bytes_appended": self.bytes_appended,
             "fsyncs": self.fsyncs,
             "file_bytes": self.path.stat().st_size if self.path.exists() else 0,

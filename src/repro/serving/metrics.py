@@ -70,8 +70,14 @@ class ServiceMetrics:
 
     ``journal_failures`` counts batches whose write-ahead append failed (the
     batch is never applied); ``worker_failures`` counts batch-loop
-    exceptions — each one fail-stops the worker, leaving recovery from the
-    journal as the path back to service.
+    exceptions. Unsupervised, each one fail-stops the worker (recovery from
+    the journal is the path back); under a supervisor each failure instead
+    feeds the healing counters — ``worker_restarts``, ``quarantines`` /
+    ``quarantined_writes`` (poison batches excluded from the dataset),
+    ``fit_timeouts`` (watchdog-abandoned fits), ``compactions`` (journal
+    rewrites), ``writes_shed`` (typed ``Overloaded`` rejections while
+    degraded) and ``degraded_seconds_total`` (cumulative wall-clock the
+    service spent serving reads without a live worker).
     """
 
     writes_accepted: int = 0
@@ -92,6 +98,13 @@ class ServiceMetrics:
     queue_high_watermark: int = 0
     journal_failures: int = 0
     worker_failures: int = 0
+    worker_restarts: int = 0
+    quarantines: int = 0
+    quarantined_writes: int = 0
+    fit_timeouts: int = 0
+    compactions: int = 0
+    writes_shed: int = 0
+    degraded_seconds_total: float = 0.0
 
     @property
     def writes_acked(self) -> int:
@@ -139,6 +152,13 @@ class ServiceMetrics:
             "queue_high_watermark": self.queue_high_watermark,
             "journal_failures": self.journal_failures,
             "worker_failures": self.worker_failures,
+            "worker_restarts": self.worker_restarts,
+            "quarantines": self.quarantines,
+            "quarantined_writes": self.quarantined_writes,
+            "fit_timeouts": self.fit_timeouts,
+            "compactions": self.compactions,
+            "writes_shed": self.writes_shed,
+            "degraded_seconds_total": self.degraded_seconds_total,
         }
         if extra:
             out.update(extra)

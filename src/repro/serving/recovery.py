@@ -30,9 +30,9 @@ from __future__ import annotations
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple, Union
 
-from ..data.model import Answer, DatasetError, Record, TruthDiscoveryDataset
+from ..data.model import DatasetError, Record, TruthDiscoveryDataset
 from ..hierarchy.tree import Hierarchy
 from ..inference.base import TruthInferenceAlgorithm
 from .faults import FaultInjector
@@ -44,7 +44,10 @@ from .journal import (
     scan_journal,
     truncate_torn_tail,
 )
-from .service import TruthService
+
+if TYPE_CHECKING:  # imported lazily in recover(): the supervisor's rollback
+    from .service import TruthService  # path reuses rebuild_dataset, and the
+    from .supervisor import SupervisionPolicy  # service module imports it.
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,13 @@ class RecoveryReport:
     dataset_version: int
     records_version: int
     replay_seconds: float
+    #: batches journaled as poison (``quarantine`` records) and excluded
+    #: from the rebuilt dataset, plus the writes they carried.
+    batches_quarantined: int = 0
+    writes_quarantined: int = 0
+    #: batch frames sharing an already-replayed sequence number (a retried
+    #: append whose first frame actually survived) — applied once.
+    duplicate_batches: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -80,6 +90,8 @@ class RecoveryReport:
 
 def rebuild_dataset(
     source: Union[str, Path, JournalScan],
+    *,
+    skip_seqs: Iterable[int] = (),
 ) -> Tuple[TruthDiscoveryDataset, Dict[str, int]]:
     """Reconstruct the accepted-prefix dataset from a journal (or its scan).
 
@@ -87,6 +99,14 @@ def rebuild_dataset(
     batches/writes replayed and rejected plus the next batch sequence
     number. Raises :class:`JournalError` when no decodable base record
     survived (nothing can be conditioned on evidence that is gone).
+
+    Batches named by journaled ``quarantine`` records — or by the caller's
+    ``skip_seqs`` (the supervisor's rollback excludes the in-flight batch
+    this way) — are skipped wholesale: a live service that quarantined a
+    poison batch and a recovery of its journal condition on the same
+    evidence. A batch frame whose sequence number was already replayed (a
+    retried append whose "failed" first frame actually reached the file) is
+    applied once and counted as a duplicate.
     """
     scan = source if isinstance(source, JournalScan) else scan_journal(source)
     base = scan.base
@@ -97,10 +117,15 @@ def rebuild_dataset(
     hierarchy = Hierarchy(root=base["root"])
     for child, parent in base["edges"]:
         hierarchy.add_edge(child, parent)
-    dataset = TruthDiscoveryDataset(
+    # The base is a trusted dump (CRC-verified frame, written from a dataset
+    # that validated every claim on ingestion), so it restores through the
+    # bulk path: base cost stays O(data) with a small constant, and only the
+    # *batches* below go through the validating mutators — they must reject
+    # exactly as the live service did.
+    dataset = TruthDiscoveryDataset.from_trusted_claims(
         hierarchy,
-        (Record(o, s, v) for o, s, v in base["records"]),
-        (Answer(o, w, v) for o, w, v in base["answers"]),
+        base["records"],
+        base["answers"],
         gold={o: v for o, v in base["gold"]},
         name=base.get("name", ""),
     )
@@ -112,13 +137,28 @@ def rebuild_dataset(
     # the pre-crash service's. Safe: no encoding/oplog exists yet.
     dataset._version = base["version"]
     dataset._records_version = base["records_version"]
+    skip = {int(s) for s in skip_seqs}
+    for entry in scan.entries[1:]:
+        if entry.get("kind") == "quarantine" and isinstance(entry.get("seq"), int):
+            skip.add(entry["seq"])
     batches = applied = rejected = 0
+    quarantined_batches = quarantined_writes = duplicates = 0
     next_seq = 0
+    replayed_seqs = set()
     for entry in scan.entries[1:]:
         if entry.get("kind") != "batch":
             continue
+        seq = int(entry.get("seq", -1))
+        next_seq = max(next_seq, seq + 1)
+        if seq in skip:
+            quarantined_batches += 1
+            quarantined_writes += len(entry["writes"])
+            continue
+        if seq >= 0 and seq in replayed_seqs:
+            duplicates += 1
+            continue
+        replayed_seqs.add(seq)
         batches += 1
-        next_seq = max(next_seq, int(entry.get("seq", -1)) + 1)
         for item in entry["writes"]:
             claim = decode_claim(item)
             try:
@@ -135,6 +175,9 @@ def rebuild_dataset(
         "applied": applied,
         "rejected": rejected,
         "next_seq": next_seq,
+        "quarantined_batches": quarantined_batches,
+        "quarantined_writes": quarantined_writes,
+        "duplicate_batches": duplicates,
     }
 
 
@@ -150,7 +193,9 @@ async def recover(
     batch_wait: float = 0.0,
     history: int = 8,
     off_loop_fits: bool = True,
-) -> Tuple[TruthService, RecoveryReport]:
+    supervision: Optional["SupervisionPolicy"] = None,
+    auto_compact_bytes: Optional[int] = None,
+) -> Tuple["TruthService", RecoveryReport]:
     """Recover a crashed journaled service from disk and start it.
 
     Scans ``path`` (truncating any torn tail), rebuilds the accepted-prefix
@@ -162,8 +207,13 @@ async def recover(
 
     Returns ``(service, report)`` with the service already started (reads
     work immediately; ``run_worker=False`` leaves the batch loop to manual
-    ``service.worker.step()`` driving, as in the tests).
+    ``service.worker.step()`` driving, as in the tests). Pass a
+    :class:`~repro.serving.supervisor.SupervisionPolicy` as ``supervision``
+    to recover straight into self-healing mode, and ``auto_compact_bytes``
+    to bound the reopened journal's growth.
     """
+    from .service import TruthService
+
     t0 = time.perf_counter()
     scan = scan_journal(path)
     tail_dropped = truncate_torn_tail(path, scan)
@@ -173,7 +223,9 @@ async def recover(
         int(last_checkpoint["epoch"]) + 1 if last_checkpoint is not None else 0
     )
     replay_seconds = time.perf_counter() - t0
-    journal = WriteAheadJournal(path, fsync=fsync, faults=faults)
+    journal = WriteAheadJournal(
+        path, fsync=fsync, faults=faults, auto_compact_bytes=auto_compact_bytes
+    )
     journal.batch_seq = replay["next_seq"]
     service = TruthService(
         dataset,
@@ -186,6 +238,7 @@ async def recover(
         faults=faults,
         off_loop_fits=off_loop_fits,
         initial_epoch=resume_epoch,
+        supervision=supervision,
     )
     await service.start(run_worker=run_worker)
     report = RecoveryReport(
@@ -204,5 +257,8 @@ async def recover(
         dataset_version=dataset.version,
         records_version=dataset.records_version,
         replay_seconds=replay_seconds,
+        batches_quarantined=replay["quarantined_batches"],
+        writes_quarantined=replay["quarantined_writes"],
+        duplicate_batches=replay["duplicate_batches"],
     )
     return service, report

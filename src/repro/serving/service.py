@@ -47,6 +47,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import inspect
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
@@ -65,6 +66,7 @@ from .faults import FaultInjector
 from .journal import WriteAheadJournal
 from .metrics import ServiceMetrics
 from .snapshots import PublishedResult, SnapshotStore
+from .supervisor import SupervisionPolicy, Supervisor
 from .worker import EMWorker, Write
 
 
@@ -76,6 +78,16 @@ class ServiceClosed(RuntimeError):
     """A write arrived after ``stop()`` began refusing new writes."""
 
 
+class Overloaded(RuntimeError):
+    """A write was shed: the queue is full while the service is degraded.
+
+    Healthy services apply backpressure instead (``append_*`` awaits queue
+    space); a degraded one — worker down, mid-restart — must not let writers
+    block on a queue nothing is consuming, so beyond ``max_pending`` it
+    fails fast with this typed error. Counted in ``metrics.writes_shed``.
+    """
+
+
 @dataclass(frozen=True)
 class TruthRead:
     """One lock-free read: the truth plus the stamps that date it.
@@ -83,6 +95,10 @@ class TruthRead:
     ``lag_writes`` is the number of writes the service had accepted but not
     yet published when the read happened — 0 means the reader saw a fully
     caught-up snapshot. ``staleness_seconds`` is the snapshot's age.
+    ``degraded`` is True while a supervised service's worker is down or
+    restarting (the snapshot is still the last published truth — reads
+    never fail over a worker crash), and ``time_in_degraded`` is how long
+    the current degraded period has lasted at read time.
     """
 
     object: ObjectId
@@ -94,6 +110,8 @@ class TruthRead:
     incremental: bool
     lag_writes: int
     staleness_seconds: float
+    degraded: bool = False
+    time_in_degraded: float = 0.0
 
 
 class TruthService:
@@ -139,6 +157,14 @@ class TruthService:
         The epoch the first publish carries — 0 for a fresh service;
         recovery passes the journaled checkpoint epoch + 1 so epochs stay
         dense across restarts.
+    supervision:
+        Optional :class:`~repro.serving.supervisor.SupervisionPolicy`.
+        When given, the worker runs under a
+        :class:`~repro.serving.supervisor.Supervisor` — batch-loop crashes
+        roll back to the last published state and restart with backoff,
+        poison batches are quarantined, fits are watchdogged, and reads
+        stay live (``degraded`` stamps) while the worker heals. ``None``
+        keeps the PR-7..9 fail-stop policy.
     """
 
     def __init__(
@@ -154,6 +180,7 @@ class TruthService:
         faults: Optional[FaultInjector] = None,
         off_loop_fits: bool = True,
         initial_epoch: int = 0,
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -172,8 +199,10 @@ class TruthService:
         self._off_loop_fits = off_loop_fits
         self._store = SnapshotStore(history=history, base_epoch=initial_epoch)
         self.metrics = ServiceMetrics()
+        self._supervision = supervision
         self._queue: Optional["asyncio.Queue[Write]"] = None
         self.worker: Optional[EMWorker] = None
+        self.supervisor: Optional[Supervisor] = None
         self._worker_task: Optional["asyncio.Task[None]"] = None
         self._started = False
         self._closed = False
@@ -210,15 +239,30 @@ class TruthService:
             journal=self._journal,
             faults=self._faults,
             off_loop_fits=self._off_loop_fits,
+            supervised=self._supervision is not None,
+            fit_timeout=(
+                self._supervision.fit_timeout
+                if self._supervision is not None
+                else None
+            ),
         )
+        if self._supervision is not None:
+            # Built before the initial fit so its rollback ledger anchors at
+            # the pristine dataset and its commit hook sees every publish.
+            self.supervisor = Supervisor(self, self._supervision)
         # The initial fit before any write is accepted: readers never see
         # "no data". Epoch 0 on a fresh service; the journaled resume epoch
-        # on a recovered one.
+        # on a recovered one. Startup is not supervised: a crash here is a
+        # configuration problem, not a runtime fault to heal around.
         await self.worker.fit_and_publish()
         self._started = True
         if run_worker:
+            runner = (
+                self.supervisor.run() if self.supervisor is not None
+                else self.worker.run()
+            )
             self._worker_task = asyncio.create_task(
-                self.worker.run(), name="truth-service-em-worker"
+                runner, name="truth-service-em-worker"
             )
         return self
 
@@ -228,10 +272,32 @@ class TruthService:
         Requires the worker task (or an external driver calling
         ``worker.step()``) to be consuming the queue. Returns the snapshot
         that is latest once the queue is fully processed.
+
+        If the worker task dies mid-drain — a fail-stop crash, or a
+        supervised service exhausting its restart budget — the barrier can
+        never complete, so instead of hanging forever this raises the
+        worker's own failure (``ServiceClosed`` if it was cancelled).
         """
         self._require_started()
-        await self._queue.join()
-        return self._store.latest
+        join = asyncio.ensure_future(self._queue.join())
+        sentinel = self._worker_task
+        if sentinel is None:
+            # Manually driven service (run_worker=False): there is no task
+            # whose death could strand the barrier — the driver is us.
+            await join
+            return self._store.latest
+        await asyncio.wait({join, sentinel}, return_when=asyncio.FIRST_COMPLETED)
+        if join.done():
+            # Fully processed wins even if the worker stopped in the same
+            # tick — every write is resolved, which is what drain promises.
+            return self._store.latest
+        join.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await join
+        failure = None if sentinel.cancelled() else sentinel.exception()
+        if failure is not None:
+            raise failure
+        raise ServiceClosed("EM worker was cancelled mid-drain")
 
     async def stop(self, *, drain: bool = True) -> None:
         """Refuse new writes, optionally drain, then tear down cleanly.
@@ -245,7 +311,11 @@ class TruthService:
             return
         self._closed = True
         if drain and (self._worker_task is not None and not self._worker_task.done()):
-            await self._queue.join()
+            # The guarded barrier: a worker dying mid-drain raises instead
+            # of hanging; during teardown that failure is swallowed here —
+            # it already surfaced on the crashed batch's tickets.
+            with contextlib.suppress(Exception):
+                await self.drain()
         if self._worker_task is not None:
             if self._worker_task.done():
                 if not self._worker_task.cancelled():
@@ -255,6 +325,13 @@ class TruthService:
                 with contextlib.suppress(asyncio.CancelledError):
                     await self._worker_task
             self._worker_task = None
+        if self.supervisor is not None:
+            # A stop while degraded may leave a parked batch (and queued
+            # writes) with unresolved tickets; fail them so no writer
+            # awaits a heal that will never come.
+            self.supervisor.abandon_pending(
+                ServiceClosed("service stopped while writes were pending")
+            )
         if self.worker is not None:
             self.worker.shutdown()
         if self._journal is not None and not self._journal.closed:
@@ -331,7 +408,23 @@ class TruthService:
             )
             raise ServiceClosed(f"EM worker has stopped ({failure!r}); write refused")
         write.ticket = asyncio.get_running_loop().create_future()
-        await self._queue.put(write)  # backpressure point
+        if (
+            self.supervisor is not None
+            and self.supervisor.degraded_since is not None
+        ):
+            # Degraded mode: nothing is consuming the queue right now, so
+            # blocking on backpressure could block on a heal that takes
+            # arbitrarily long. Queue within capacity, shed loudly beyond.
+            try:
+                self._queue.put_nowait(write)
+            except asyncio.QueueFull:
+                self.metrics.writes_shed += 1
+                raise Overloaded(
+                    f"queue full ({self._queue.maxsize} pending) while the"
+                    " worker is restarting; write shed"
+                ) from None
+        else:
+            await self._queue.put(write)  # backpressure point
         self.metrics.writes_accepted += 1
         self.metrics.note_queue_depth(self._queue.qsize())
         return write.ticket
@@ -386,6 +479,9 @@ class TruthService:
             - self.metrics.writes_rejected
             - snapshot.applied_writes
         )
+        degraded_since = (
+            self.supervisor.degraded_since if self.supervisor is not None else None
+        )
         return TruthRead(
             object=obj,
             value=value,
@@ -396,7 +492,46 @@ class TruthService:
             incremental=snapshot.incremental,
             lag_writes=max(0, lag),
             staleness_seconds=snapshot.age_seconds(),
+            degraded=degraded_since is not None,
+            time_in_degraded=(
+                time.monotonic() - degraded_since
+                if degraded_since is not None
+                else 0.0
+            ),
         )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _adopt_dataset(self, dataset: TruthDiscoveryDataset) -> None:
+        """Swap in a rolled-back dataset (supervisor-only, worker parked)."""
+        self._dataset = dataset
+        self.worker.replace_dataset(dataset)
+
+    async def compact(self) -> Dict[str, int]:
+        """Drain, then rewrite the journal as base = the current dataset.
+
+        The drain is what makes the rewrite legal: once every accepted write
+        is published, the live dataset *is* the journal's replay state, so
+        replacing history with it loses nothing. Returns ``compact()``'s
+        ``{before_bytes, after_bytes}``. Raises when no journal is attached.
+        """
+        self._require_started()
+        if self._journal is None:
+            raise ValueError("compact() needs a journal-backed service")
+        await self.drain()
+        latest = self._store.latest
+        info = self._journal.compact(
+            self._dataset,
+            epoch=latest.epoch,
+            dataset_version=latest.dataset_version,
+            records_version=latest.records_version,
+            applied_writes=latest.applied_writes,
+        )
+        self.metrics.compactions += 1
+        if self.supervisor is not None:
+            self.supervisor.rebase_ledger()
+        return info
 
     # ------------------------------------------------------------------
     # introspection
@@ -412,7 +547,10 @@ class TruthService:
                 self._worker_task is not None and not self._worker_task.done()
             ),
             "off_loop_fits": self._off_loop_fits,
+            "supervised": self.supervisor is not None,
         }
+        if self.supervisor is not None:
+            extra["supervisor"] = self.supervisor.stats()
         if self._journal is not None:
             extra["journal"] = self._journal.stats()
         if latest is not None:

@@ -38,12 +38,31 @@ Per batch the worker does exactly five things:
    PublishedResult` epoch, append the epoch-checkpoint marker to the
    journal, and resolve the batch's tickets.
 
-Failure policy is **fail-stop**: any exception in the batch loop (injected
-or real) resolves the in-flight batch's tickets with the error, re-raises,
-and kills the worker task. The service then refuses further writes; the
-journal holds every accepted batch, so ``recover()`` restores exactly the
-accepted prefix. ``queue.task_done`` is called once per write *after* its
-batch's publish, so ``queue.join()`` is exactly the service's drain barrier.
+The default failure policy is **fail-stop**: any exception in the batch loop
+(injected or real) resolves the in-flight batch's tickets with the error,
+re-raises, and kills the worker task. The service then refuses further
+writes; the journal holds every accepted batch, so ``recover()`` restores
+exactly the accepted prefix. ``queue.task_done`` is called once per write
+*after* its batch's publish, so ``queue.join()`` is exactly the service's
+drain barrier.
+
+Under a :class:`~repro.serving.supervisor.Supervisor` (``supervised=True``)
+the worker becomes *restartable* instead: a crashed batch stays parked as
+:attr:`EMWorker.pending` — its tickets unresolved, its ``task_done`` calls
+deferred — while the supervisor rolls the dataset back to the last published
+state and re-runs :meth:`step`, which retries the pending batch (without
+re-journaling it if the append already landed; ``append_batch`` only bumps
+``batch_seq`` after the frame is fully written, so a retried append reuses
+the same sequence number). The *commit point* is ``SnapshotStore.publish``:
+once it lands, ``pending.published_epoch`` is set and a later crash (the
+checkpoint append, a compaction) must **not** retry the batch — the
+supervisor resolves its tickets with that epoch and repairs the checkpoint
+instead. Attempt-local metric increments are reversed on a pre-commit crash
+so counters always describe committed state. A ``fit_timeout`` arms the
+**fit watchdog**: an off-loop fit that outlives it is abandoned (its
+executor is discarded; the stuck thread can finish into the void — it only
+ever reads the dataset object it was handed) and :class:`FitTimeout` is
+raised, which the supervisor treats like any other crash.
 """
 
 from __future__ import annotations
@@ -53,7 +72,7 @@ import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..data.model import Answer, DatasetError, Record, TruthDiscoveryDataset
 from ..inference.base import TruthInferenceAlgorithm, WarmStartDegradation
@@ -83,6 +102,43 @@ class Write:
             dataset.add_answer(self.claim)
 
 
+class FitTimeout(RuntimeError):
+    """An off-loop fit outlived ``fit_timeout`` and was abandoned.
+
+    Raised on the worker coroutine (the executor future is discarded); under
+    supervision it is handled like any other batch-loop crash — rollback,
+    restart, and eventual quarantine of the batch whose fits keep hanging.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        super().__init__(f"fit exceeded fit_timeout={timeout:g}s and was abandoned")
+        self.timeout = timeout
+
+
+@dataclass
+class PendingBatch:
+    """The batch a supervised worker is processing, parked across retries.
+
+    ``journaled``/``seq`` make the journal append idempotent across retries;
+    ``published_epoch`` marks the commit point (set the instant
+    ``SnapshotStore.publish`` succeeds — a batch with it set is *never*
+    retried); ``crashes`` drives quarantine; the ``attempt_*`` fields are
+    this attempt's metric increments, reversed on a pre-commit crash;
+    ``applied_claims`` is what the last attempt actually mutated into the
+    dataset (the journal-less supervisor's rollback ledger).
+    """
+
+    writes: List[Write]
+    seq: Optional[int] = None
+    journaled: bool = False
+    published_epoch: Optional[int] = None
+    crashes: int = 0
+    attempt_applied: int = 0
+    attempt_rejected: int = 0
+    attempt_batched: bool = False
+    applied_claims: List[Union[Record, Answer]] = field(default_factory=list)
+
+
 class EMWorker:
     """Single-consumer batch loop between the write queue and the store."""
 
@@ -100,9 +156,13 @@ class EMWorker:
         journal: Optional[WriteAheadJournal] = None,
         faults: Optional[FaultInjector] = None,
         off_loop_fits: bool = True,
+        supervised: bool = False,
+        fit_timeout: Optional[float] = None,
     ) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
+        if fit_timeout is not None and fit_timeout <= 0:
+            raise ValueError("fit_timeout must be > 0 (or None to disable)")
         self._dataset = dataset
         self._model = model
         self._queue = queue
@@ -115,6 +175,25 @@ class EMWorker:
         self._faults = faults
         self._off_loop = off_loop_fits
         self._fit_pool: Optional[ThreadPoolExecutor] = None
+        self._supervised = supervised
+        self._fit_timeout = fit_timeout
+        #: the batch currently being processed (supervised mode only) —
+        #: parked here across crash/rollback/retry until finalized.
+        self.pending: Optional[PendingBatch] = None
+        #: called with the PublishedResult the instant a publish commits
+        #: (the supervisor's crash-budget reset + rollback-ledger hook).
+        self.commit_listener: Optional[Callable[[PublishedResult], None]] = None
+        #: called with compact()'s {before_bytes, after_bytes} after an
+        #: auto-compaction (the supervisor re-bases its in-memory ledger).
+        self.compaction_listener: Optional[Callable[[Dict[str, int]], None]] = None
+
+    @property
+    def dataset(self) -> TruthDiscoveryDataset:
+        return self._dataset
+
+    def replace_dataset(self, dataset: TruthDiscoveryDataset) -> None:
+        """Swap in a rolled-back dataset (supervisor-only, worker parked)."""
+        self._dataset = dataset
 
     # ------------------------------------------------------------------
     # fitting & publication
@@ -177,6 +256,13 @@ class EMWorker:
             published_at=time.monotonic(),
         )
         published = self._store.publish(snapshot)
+        # The commit point: the snapshot is visible to readers. A crash past
+        # this line must resolve the batch's tickets with this epoch, never
+        # retry it (double-apply); the supervisor keys off published_epoch.
+        if self.pending is not None:
+            self.pending.published_epoch = published.epoch
+        if self.commit_listener is not None:
+            self.commit_listener(published)
         if self._journal is not None:
             # Checkpoint *after* the publish it marks: a surviving checkpoint
             # implies its batches are journaled (they precede it in the file),
@@ -187,7 +273,34 @@ class EMWorker:
                 records_version=published.records_version,
                 applied_writes=published.applied_writes,
             )
+            self._maybe_auto_compact(published)
         return published
+
+    def _maybe_auto_compact(self, published: PublishedResult) -> None:
+        """Compact the journal when it outgrew ``auto_compact_bytes``.
+
+        Only called right after a checkpoint, the one program point where the
+        live dataset and the journal's replay state provably coincide.
+        """
+        journal = self._journal
+        if journal is None or journal.auto_compact_bytes is None or journal.closed:
+            return
+        try:
+            size = journal.path.stat().st_size
+        except OSError:
+            return
+        if size <= journal.auto_compact_bytes:
+            return
+        info = journal.compact(
+            self._dataset,
+            epoch=published.epoch,
+            dataset_version=published.dataset_version,
+            records_version=published.records_version,
+            applied_writes=published.applied_writes,
+        )
+        self._metrics.compactions += 1
+        if self.compaction_listener is not None:
+            self.compaction_listener(info)
 
     async def fit_and_publish(self) -> PublishedResult:
         """Refit warm-started from the latest publish, then publish.
@@ -200,10 +313,28 @@ class EMWorker:
         """
         if self._off_loop:
             loop = asyncio.get_running_loop()
-            fitted = await loop.run_in_executor(self._executor(), self._fit)
+            future = loop.run_in_executor(self._executor(), self._fit)
+            if self._fit_timeout is not None:
+                try:
+                    fitted = await asyncio.wait_for(future, self._fit_timeout)
+                except asyncio.TimeoutError:
+                    # Watchdog expiry: abandon the executor wholesale — a
+                    # fresh pool serves future fits while the wedged thread
+                    # finishes into the void (it only reads the dataset
+                    # object it was handed; nothing consumes its result).
+                    self._metrics.fit_timeouts += 1
+                    self._abandon_executor()
+                    raise FitTimeout(self._fit_timeout) from None
+            else:
+                fitted = await future
         else:
             fitted = self._fit()
         return self._publish(fitted)
+
+    def _abandon_executor(self) -> None:
+        if self._fit_pool is not None:
+            self._fit_pool.shutdown(wait=False)
+            self._fit_pool = None
 
     def _executor(self) -> ThreadPoolExecutor:
         if self._fit_pool is None:
@@ -237,12 +368,33 @@ class EMWorker:
         batch was rejected (nothing changed, so nothing is re-fitted).
         Exposed so tests can drive the worker deterministically
         (``TruthService.start(run_worker=False)``).
+
+        Supervised mode re-enters here after a rollback: the parked
+        :attr:`pending` batch is retried instead of taking a new one, its
+        tickets stay unresolved across the crash (writers keep awaiting
+        through the heal), and ``task_done`` is deferred to finalization so
+        ``queue.join()`` still means "fully resolved".
         """
-        batch = await self._take_batch()
+        if self._supervised and self.pending is not None:
+            pending = self.pending  # retry after rollback — same batch
+        else:
+            pending = PendingBatch(writes=await self._take_batch())
+            if self._supervised:
+                self.pending = pending
+        batch = pending.writes
+        pending.attempt_applied = 0
+        pending.attempt_rejected = 0
+        pending.attempt_batched = False
+        pending.applied_claims = []
         try:
-            if self._journal is not None:
+            if self._journal is not None and not pending.journaled:
                 try:
-                    self._journal.append_batch([w.claim for w in batch])
+                    # append_batch bumps batch_seq only after the frame is
+                    # fully written, so a retried append reuses the seq.
+                    pending.seq = self._journal.append_batch(
+                        [w.claim for w in batch]
+                    )
+                    pending.journaled = True
                 except Exception:
                     self._metrics.journal_failures += 1
                     raise
@@ -254,25 +406,43 @@ class EMWorker:
                     write.apply(self._dataset)
                 except DatasetError as exc:
                     self._metrics.writes_rejected += 1
+                    pending.attempt_rejected += 1
                     if not write.ticket.done():
                         write.ticket.set_exception(exc)
                 else:
                     self._metrics.writes_applied += 1
+                    pending.attempt_applied += 1
                     applied.append(write)
             self._metrics.batches += 1
             self._metrics.last_batch_size = len(batch)
+            pending.attempt_batched = True
+            pending.applied_claims = [w.claim for w in applied]
             if not applied:
+                self._finalize_pending(pending)
                 return None
             snapshot = await self.fit_and_publish()
             for write in applied:
                 if not write.ticket.done():  # a writer may have cancelled
                     write.ticket.set_result(snapshot.epoch)
+            self._finalize_pending(pending)
             return snapshot
         except Exception as exc:
+            self._metrics.worker_failures += 1
+            if self._supervised:
+                # Park the batch for the supervisor: tickets stay pending
+                # (writers wait through the heal), task_done is deferred.
+                # Reverse this attempt's metric increments unless the
+                # publish committed — counters describe committed state.
+                pending.crashes += 1
+                if pending.published_epoch is None:
+                    self._metrics.writes_applied -= pending.attempt_applied
+                    self._metrics.writes_rejected -= pending.attempt_rejected
+                    if pending.attempt_batched:
+                        self._metrics.batches -= 1
+                raise
             # Fail-stop: surface the crash on every unresolved ticket (so
             # awaiting writers unblock), then kill the worker. The journal
             # holds the accepted prefix; recovery is the way back.
-            self._metrics.worker_failures += 1
             for write in batch:
                 if write.ticket is not None and not write.ticket.done():
                     write.ticket.set_exception(exc)
@@ -282,10 +452,20 @@ class EMWorker:
                     write.ticket.exception()
             raise
         finally:
-            # After publication, so queue.join() == "all accepted writes are
-            # readable or rejected" — the drain barrier.
-            for _ in batch:
-                self._queue.task_done()
+            if not self._supervised:
+                # After publication, so queue.join() == "all accepted writes
+                # are readable or rejected" — the drain barrier.
+                for _ in batch:
+                    self._queue.task_done()
+
+    def _finalize_pending(self, pending: PendingBatch) -> None:
+        """Retire a fully resolved batch (supervised bookkeeping only)."""
+        if not self._supervised:
+            return
+        for _ in pending.writes:
+            self._queue.task_done()
+        if self.pending is pending:
+            self.pending = None
 
     async def run(self) -> None:
         """The worker task body: loop until cancelled (or fail-stopped)."""

@@ -35,6 +35,7 @@ from repro.inference import TDHModel
 from repro.serving import (
     FaultInjector,
     InjectedFault,
+    InjectedTornWrite,
     JournalError,
     ServiceClosed,
     TruthService,
@@ -175,6 +176,111 @@ def test_fsync_policy_counts(tmp_path):
     assert counts["always"] == 3  # every record
     assert counts["checkpoint"] == 1  # the checkpoint only
     assert counts["never"] == 0
+
+
+def test_abort_after_partial_append_leaves_a_truncatable_tail(tmp_path):
+    """`abort()` right after a torn append: the file carries a partial
+    frame, the handle is dead, and the counters never claimed the record."""
+    path = tmp_path / "partial.wal"
+    dataset = _small()
+    faults = FaultInjector(seed=13)
+    journal = WriteAheadJournal(path, fsync="always", faults=faults)
+    journal.append_base(dataset)
+    obj = dataset.objects[0]
+    claim = Answer(obj, "w0", dataset.candidates(obj)[0])
+    journal.append_batch([claim])
+    appended_before = journal.records_appended
+    bytes_before = journal.bytes_appended
+    faults.arm("journal.torn", hit=faults.counts["journal.torn"] + 1, torn=True)
+    with pytest.raises(InjectedTornWrite):
+        journal.append_batch([Answer(obj, "w1", dataset.candidates(obj)[0])])
+    # The partial frame was never accounted as appended...
+    assert journal.records_appended == appended_before
+    assert journal.bytes_appended == bytes_before
+    # ... but seq was consumed only by the *complete* append.
+    assert journal.batch_seq == 1
+    journal.abort()
+    assert journal.closed
+    with pytest.raises(JournalError, match="closed"):
+        journal.append_batch([claim])
+    # The file really is longer than its valid prefix; truncation heals it.
+    scan = scan_journal(path)
+    assert scan.truncated_records == 1
+    assert scan.truncated_bytes > 0
+    assert scan.valid_end < scan.file_bytes
+    assert [e["kind"] for e in scan.entries] == ["base", "batch"]
+    cut = truncate_torn_tail(path, scan)
+    assert cut == scan.truncated_bytes
+    healed = scan_journal(path)
+    assert healed.truncated_records == 0
+    assert healed.valid_end == healed.file_bytes
+    assert [decode_claim(w) for w in healed.entries[1]["writes"]] == [claim]
+
+
+def test_stats_survive_close(tmp_path):
+    """`stats()` is a post-mortem tool too: it must work on a closed (or
+    aborted) journal and keep reporting the on-disk size."""
+    path = tmp_path / "postmortem.wal"
+    dataset = _small()
+    journal = WriteAheadJournal(path, fsync="checkpoint")
+    journal.append_base(dataset)
+    obj = dataset.objects[0]
+    journal.append_batch([Answer(obj, "w0", dataset.candidates(obj)[0])])
+    live = journal.stats()
+    assert live["closed"] is False
+    journal.close()
+    dead = journal.stats()
+    assert dead["closed"] is True
+    assert dead["records_appended"] == live["records_appended"] == 2
+    assert dead["bytes_appended"] == live["bytes_appended"]
+    assert dead["file_bytes"] == path.stat().st_size > 0
+    assert dead["fsync"] == "checkpoint"
+    journal.close()  # idempotent
+    assert journal.stats()["closed"] is True
+    # And on a file deleted out from under it, stats degrade to zero bytes
+    # instead of raising — it is a diagnostics call.
+    path.unlink()
+    assert journal.stats()["file_bytes"] == 0
+
+
+def test_fsync_never_torn_tail_accounting(tmp_path):
+    """Under ``fsync="never"`` a torn tail can span *several* buffered
+    records. Scan accounting must charge every lost record, and
+    ``truncate_torn_tail`` must cut exactly the invalid span."""
+    path = tmp_path / "never.wal"
+    dataset = _small()
+    journal = WriteAheadJournal(path, fsync="never")
+    journal.append_base(dataset)
+    obj = dataset.objects[0]
+    value = dataset.candidates(obj)[0]
+    for i in range(4):
+        journal.append_batch([Answer(obj, f"w{i}", value)])
+    journal.abort()  # simulated power cut: nothing was ever fsynced
+    assert journal.fsyncs == 0
+    # Flush still happened per-append (write() to the page cache), so the
+    # frames are in the file; hand-cut the tail 3 bytes into the
+    # second-to-last frame to model the cache half-making it to disk —
+    # one record torn mid-frame, one vanished entirely.
+    blob = path.read_bytes()
+    clean = scan_journal(path)
+    assert len(clean.entries) == 5
+    torn_at = clean.spans[3][0] + 3
+    path.write_bytes(blob[:torn_at])
+    scan = scan_journal(path)
+    assert len(scan.entries) == 3
+    assert scan.truncated_records == 1  # one contiguous invalid span
+    assert scan.valid_end == clean.spans[2][1]
+    assert scan.truncated_bytes == torn_at - scan.valid_end
+    cut = truncate_torn_tail(path, scan)
+    assert cut == scan.truncated_bytes
+    healed = scan_journal(path)
+    assert healed.truncated_records == 0
+    assert healed.file_bytes == scan.valid_end
+    assert [e["kind"] for e in healed.entries] == ["base", "batch", "batch"]
+    # The healed journal replays: exactly the surviving writes.
+    _rebuilt, stats = rebuild_dataset(healed)
+    assert stats["batches"] == 2
+    assert stats["applied"] == 2
 
 
 # ---------------------------------------------------------------------------
